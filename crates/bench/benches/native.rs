@@ -1,0 +1,171 @@
+//! E9 — native wall-clock scalability (criterion): throughput and
+//! latency of every native k-exclusion algorithm vs. the OS-semaphore
+//! baseline, across thread counts.
+//!
+//! Absolute numbers are host-specific; the *shape* to compare with the
+//! paper's scalability argument: the local-spin algorithms' per-
+//! acquisition cost stays flat (or grows slowly) with thread count, and
+//! the fast-path variants win at low contention.
+//!
+//! Run: `cargo bench -p kex-bench --bench native`
+
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kex_core::native::{
+    CcChainKex, DsmChainKex, FastPathKex, GracefulKex, KAssignment, McsLock, QueueKex, RawKex,
+    SemaphoreKex, TreeKex, YangAndersonLock,
+};
+
+const K: usize = 4;
+
+fn algorithms(n: usize) -> Vec<(&'static str, Arc<dyn RawKex>)> {
+    let k = K.min(n - 1).max(1);
+    vec![
+        ("cc-chain", Arc::new(CcChainKex::new(n, k)) as Arc<dyn RawKex>),
+        ("dsm-chain", Arc::new(DsmChainKex::new(n, k))),
+        ("cc-tree", Arc::new(TreeKex::cc(n, k))),
+        ("cc-fastpath", Arc::new(FastPathKex::new(n, k))),
+        ("dsm-fastpath", Arc::new(FastPathKex::new_dsm(n, k))),
+        ("cc-graceful", Arc::new(GracefulKex::new(n, k))),
+        ("fig1-queue", Arc::new(QueueKex::new(n, k))),
+        ("semaphore", Arc::new(SemaphoreKex::new(n, k))),
+    ]
+}
+
+/// Total wall time for `threads` threads to complete `ops` acquisitions
+/// each (with a tiny critical section).
+fn run_once(kex: &Arc<dyn RawKex>, threads: usize, ops: u64) -> Duration {
+    let gate = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            let kex = Arc::clone(kex);
+            let gate = Arc::clone(&gate);
+            s.spawn(move || {
+                gate.fetch_add(1, SeqCst);
+                while gate.load(SeqCst) < threads {
+                    std::hint::spin_loop();
+                }
+                for _ in 0..ops {
+                    kex.acquire(p);
+                    std::hint::spin_loop();
+                    kex.release(p);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Uncontended single-thread acquisition latency.
+fn bench_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_acquire_release");
+    for (name, kex) in algorithms(16) {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                kex.acquire(0);
+                kex.release(0);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Throughput at full contention across thread counts.
+fn bench_contended(c: &mut Criterion) {
+    let ops: u64 = 2_000;
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(16);
+    let mut group = c.benchmark_group("contended_throughput");
+    group.sample_size(10);
+    let mut thread_counts = vec![2usize, 4, 8];
+    if !thread_counts.contains(&max_threads) {
+        thread_counts.push(max_threads);
+    }
+    for threads in thread_counts {
+        if threads > max_threads {
+            continue;
+        }
+        for (name, kex) in algorithms(threads.max(K + 1)) {
+            group.throughput(Throughput::Elements(ops * threads as u64));
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += run_once(&kex, threads, ops);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// k-assignment (kex + renaming) vs bare kex overhead.
+fn bench_assignment(c: &mut Criterion) {
+    let n = 8;
+    let mut group = c.benchmark_group("assignment_overhead");
+    let bare = FastPathKex::new(n, K);
+    group.bench_function("fastpath_bare", |b| {
+        b.iter(|| {
+            bare.acquire(0);
+            bare.release(0);
+        });
+    });
+    let assign = KAssignment::new(n, K);
+    group.bench_function("fastpath_with_renaming", |b| {
+        b.iter(|| {
+            let g = assign.enter(0);
+            std::hint::black_box(g.name());
+        });
+    });
+    group.finish();
+}
+
+/// §5's k = 1 comparison: the paper's (N, 1) instances vs the MCS queue
+/// lock, at full contention.
+fn bench_k1_vs_mcs(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let ops: u64 = 2_000;
+    let algos: Vec<(&'static str, Arc<dyn RawKex>)> = vec![
+        ("mcs", Arc::new(McsLock::new(threads)) as Arc<dyn RawKex>),
+        ("yang-anderson", Arc::new(YangAndersonLock::new(threads))),
+        ("cc-chain-k1", Arc::new(CcChainKex::new(threads, 1))),
+        ("cc-tree-k1", Arc::new(TreeKex::cc(threads, 1))),
+        ("cc-fastpath-k1", Arc::new(FastPathKex::new(threads, 1))),
+    ];
+    let mut group = c.benchmark_group("k1_vs_mcs");
+    group.sample_size(10);
+    for (name, kex) in algos {
+        group.throughput(Throughput::Elements(ops * threads as u64));
+        group.bench_function(BenchmarkId::new(name, threads), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_once(&kex, threads, ops);
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended,
+    bench_contended,
+    bench_assignment,
+    bench_k1_vs_mcs
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench over the *simulator*: time to run a fixed workload to
+//! quiescence per algorithm. This is a performance benchmark of the
+//! reproduction infrastructure itself (so regressions in the experiment
+//! harness are caught), and doubles as a determinism check: each
+//! iteration re-runs an identical seeded schedule.
+//!
+//! Run: `cargo bench -p kex-bench --bench simulated_rmr`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kex_core::sim::Algorithm;
+use kex_sim::prelude::*;
+
+fn run_workload(algo: Algorithm, n: usize, k: usize) -> u64 {
+    let proto = algo.build(n, k, 4096);
+    let mut sim = Sim::new(proto, algo.model())
+        .cycles(10)
+        .scheduler(RandomSched::new(42))
+        .timing(Timing {
+            ncs_steps: 1,
+            cs_steps: 2,
+        })
+        .build();
+    let report = sim.run(100_000_000);
+    report.assert_safe();
+    assert_eq!(report.stop, StopReason::Quiescent);
+    report.stats.worst_pair()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_workload");
+    group.sample_size(10);
+    for algo in [
+        Algorithm::CcChain,
+        Algorithm::CcTree,
+        Algorithm::CcFastPath,
+        Algorithm::DsmChain,
+        Algorithm::AssignmentCc,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
+            b.iter(|| run_workload(algo, 12, 3));
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_checker");
+    group.sample_size(10);
+    group.bench_function("explore_cc_chain_3_1", |b| {
+        b.iter(|| {
+            let report = kex_sim::explore::explore(
+                Algorithm::CcChain.build(3, 1, 0),
+                &kex_sim::explore::ExploreConfig::default(),
+            );
+            assert!(report.is_clean());
+            report.states
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_model_checker);
+criterion_main!(benches);

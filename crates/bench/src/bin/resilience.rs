@@ -1,0 +1,133 @@
+//! E7 — the resiliency experiment: inject `f = 0 .. k` crash failures
+//! (inside the critical section — the worst case) and measure whether
+//! survivors keep completing acquisitions.
+//!
+//! Expected shape (the §1 claim): the paper's algorithms make full
+//! progress for every `f <= k-1` and wedge at `f = k`; the Figure-1
+//! queue baseline wedges at `f = 1` when the victim dies *waiting*.
+//!
+//! Run: `cargo run --release -p kex-bench --bin resilience`
+
+use kex_core::sim::Algorithm;
+use kex_sim::prelude::*;
+
+const N: usize = 10;
+const K: usize = 3;
+const CYCLES: u64 = 12;
+const STEP_BUDGET: u64 = 30_000_000;
+
+/// Crash `f` processes in their critical sections; return
+/// `(survivors_done, survivors_total, wedged)`.
+fn run(algo: Algorithm, f: usize, seed: u64, crash_waiting: bool) -> (usize, usize, bool) {
+    let proto = algo.build(N, K, 4096);
+    let mut plan = FailurePlan::new();
+    for pid in 0..f {
+        plan.push(FailureSpec {
+            pid,
+            when: if crash_waiting {
+                FailWhen::WhileContending { after_own_steps: 3 }
+            } else {
+                FailWhen::InCriticalSection
+            },
+        });
+    }
+    let mut sim = Sim::new(proto, algo.model())
+        .cycles(CYCLES)
+        .scheduler(RandomSched::new(seed))
+        .failures(plan)
+        .timing(Timing {
+            ncs_steps: 1,
+            cs_steps: 3,
+        })
+        .build();
+    let report = sim.run(STEP_BUDGET);
+    report.assert_safe();
+    let done = report.completed[f..]
+        .iter()
+        .filter(|&&c| c == CYCLES)
+        .count();
+    (
+        done,
+        N - f,
+        report.stop == StopReason::StepBudget,
+    )
+}
+
+fn main() {
+    println!("E7: resiliency — {N} processes, k = {K}, crashes inside the CS");
+    println!("(paper claim: (k-1)-resilient, i.e. full progress for f <= {})\n", K - 1);
+    println!(
+        "{:<24} {:>7} {:>7} {:>7} {:>9}",
+        "algorithm", "f=0", "f=1", "f=2", "f=3 (=k)"
+    );
+    println!("{}", "-".repeat(60));
+    let algos = [
+        Algorithm::CcChain,
+        Algorithm::CcTree,
+        Algorithm::CcFastPath,
+        Algorithm::CcGraceful,
+        Algorithm::DsmChain,
+        Algorithm::DsmFastPath,
+        Algorithm::AssignmentCc,
+        Algorithm::AssignmentDsm,
+        Algorithm::QueueFig1,
+        Algorithm::GlobalSpin,
+    ];
+    for algo in algos {
+        let mut cells = Vec::new();
+        for f in 0..=K {
+            let (done, total, wedged) = run(algo, f, 7, false);
+            cells.push(if done == total {
+                format!("{done}/{total}")
+            } else if wedged {
+                format!("{done}/{total}*")
+            } else {
+                format!("{done}/{total}?")
+            });
+        }
+        println!(
+            "{:<24} {:>7} {:>7} {:>7} {:>9}",
+            algo.label(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+    println!("\ncells: survivors-finished / survivors; '*' = run wedged (step budget hit)");
+    println!("expected: every paper algorithm reads 7/7 up to f = {}, wedges at f = {K};", K - 1);
+    println!("(global-spin also survives CS crashes of f < k but is not starvation-free)\n");
+
+    println!("crashes while WAITING (after the entry decrement), f = 1 .. k:");
+    println!(
+        "{:<24} {:>7} {:>7} {:>9}",
+        "algorithm", "f=1", "f=2", "f=3 (=k)"
+    );
+    println!("{}", "-".repeat(52));
+    for algo in [Algorithm::QueueFig1, Algorithm::CcChain, Algorithm::DsmChain] {
+        let mut cells = Vec::new();
+        for f in 1..=K {
+            let (done, total, wedged) = run(algo, f, 7, true);
+            cells.push(if done == total {
+                format!("{done}/{total}")
+            } else if wedged {
+                format!("{done}/{total}*")
+            } else {
+                format!("{done}/{total}?")
+            });
+        }
+        println!(
+            "{:<24} {:>7} {:>7} {:>9}",
+            algo.label(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!("\nexpected: each waiting crash permanently consumes one slot in every");
+    println!("counting algorithm (atomic Figure 1 included); all survive f <= k-1 and");
+    println!("wedge at f = k. Figure 1's actual defect — that its multi-word atomic");
+    println!("sections cannot be built from realistic primitives — is demonstrated by");
+    println!("the `fig1_nonatomic` negative control in the test suite, where the model");
+    println!("checker finds a k-exclusion violation after the brackets are removed.");
+}

@@ -1,0 +1,172 @@
+//! Shared measurement machinery for the experiment binaries.
+
+use kex_core::sim::Algorithm;
+use kex_sim::prelude::*;
+
+/// One measurement configuration: which algorithm instance, how much
+/// contention, how long the dwell times, how many seeds.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The algorithm variant.
+    pub algo: Algorithm,
+    /// Process universe size `N`.
+    pub n: usize,
+    /// Exclusion bound `k`.
+    pub k: usize,
+    /// Number of participating processes (the contention cap).
+    pub contention: usize,
+    /// Acquisitions per participant.
+    pub cycles: u64,
+    /// Random schedules to aggregate over.
+    pub seeds: u64,
+    /// Noncritical-section dwell steps.
+    pub ncs_steps: u32,
+    /// Critical-section dwell steps.
+    pub cs_steps: u32,
+    /// Figure-5 location supply (ignored by other algorithms).
+    pub max_locs: usize,
+    /// Memory-model override (default: the algorithm's target model).
+    pub model: Option<MemoryModel>,
+}
+
+impl Workload {
+    /// A standard workload: every process participates, moderate dwell
+    /// times, 8 seeds, 15 cycles.
+    pub fn full(algo: Algorithm, n: usize, k: usize) -> Self {
+        Workload {
+            algo,
+            n,
+            k,
+            contention: n,
+            cycles: 15,
+            seeds: 8,
+            ncs_steps: 1,
+            cs_steps: 2,
+            max_locs: 8192,
+            model: None,
+        }
+    }
+
+    /// Account remote references under a specific memory model instead of
+    /// the algorithm's target model.
+    pub fn model(mut self, model: MemoryModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Cap the number of participating processes.
+    pub fn contention(mut self, c: usize) -> Self {
+        self.contention = c.min(self.n);
+        self
+    }
+
+    /// Override the dwell times.
+    pub fn dwell(mut self, ncs: u32, cs: u32) -> Self {
+        self.ncs_steps = ncs;
+        self.cs_steps = cs;
+        self
+    }
+
+    /// Override cycles per participant.
+    pub fn cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+}
+
+/// Aggregated result of running a [`Workload`] over all its seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Worst entry+exit remote-reference pair over all acquisitions and
+    /// seeds — the paper's complexity measure `t`.
+    pub worst_pair: u64,
+    /// Mean pair over all acquisitions and seeds.
+    pub mean_pair: f64,
+    /// Worst entry-section-only cost.
+    pub worst_entry: u64,
+    /// Worst entry-section waiting time in own steps (spins included) —
+    /// the fairness measure RMR counting deliberately ignores.
+    pub worst_wait_steps: u64,
+    /// Bucketed p99 of the waiting time (upper bound of the bucket).
+    pub p99_wait_steps: u64,
+    /// Total acquisitions aggregated.
+    pub acquisitions: u64,
+    /// Highest contention actually observed during any entry.
+    pub peak_contention: usize,
+}
+
+/// Run the workload to quiescence under each seed and aggregate.
+///
+/// # Panics
+/// Panics on any safety violation or non-quiescent run — experiments must
+/// not silently measure broken executions.
+pub fn measure(w: &Workload) -> Measurement {
+    let mut worst_pair = 0u64;
+    let mut worst_entry = 0u64;
+    let mut wait = kex_sim::stats::Aggregate::default();
+    let mut total = 0u64;
+    let mut count = 0u64;
+    let mut peak = 0usize;
+    for seed in 0..w.seeds {
+        let proto = w.algo.build(w.n, w.k, w.max_locs);
+        let mut sim = Sim::new(proto, w.model.unwrap_or_else(|| w.algo.model()))
+            .cycles(w.cycles)
+            .scheduler(RandomSched::new(seed))
+            .participants(0..w.contention)
+            .timing(Timing {
+                ncs_steps: w.ncs_steps,
+                cs_steps: w.cs_steps,
+            })
+            .build();
+        let report = sim.run(500_000_000);
+        report.assert_safe();
+        assert_eq!(
+            report.stop,
+            StopReason::Quiescent,
+            "{} (n={},k={}) did not quiesce",
+            w.algo.label(),
+            w.n,
+            w.k
+        );
+        let pair = report.stats.pair();
+        worst_pair = worst_pair.max(pair.max);
+        worst_entry = worst_entry.max(report.stats.entry().max);
+        wait.merge(&report.stats.wait_steps());
+        total += pair.total;
+        count += pair.count;
+        peak = peak.max(report.stats.peak_contention());
+    }
+    Measurement {
+        worst_pair,
+        mean_pair: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+        worst_entry,
+        worst_wait_steps: wait.max,
+        p99_wait_steps: wait.quantile_bucket_upper(0.99),
+        acquisitions: count,
+        peak_contention: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_aggregates_across_seeds() {
+        let w = Workload::full(Algorithm::CcChain, 4, 2).cycles(5);
+        let m = measure(&w);
+        assert_eq!(m.acquisitions, 8 * 4 * 5);
+        assert!(m.worst_pair >= 1);
+        assert!(m.worst_pair <= 14);
+        assert!(m.mean_pair <= m.worst_pair as f64);
+        assert!(m.peak_contention <= 4);
+    }
+
+    #[test]
+    fn contention_cap_is_respected() {
+        let w = Workload::full(Algorithm::CcFastPath, 8, 2).contention(2).cycles(5);
+        let m = measure(&w);
+        assert!(m.peak_contention <= 2);
+        assert_eq!(m.acquisitions, 8 * 2 * 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! # kex-bench — the experiment harness
+//!
+//! Regenerates every table and theorem-bound curve of the paper's
+//! evaluation (see the repository's `EXPERIMENTS.md` for the index and
+//! recorded results):
+//!
+//! * `cargo run --release -p kex-bench --bin table1` — Table 1
+//!   (E1/E8): measured worst-case RMRs per algorithm, with and without
+//!   contention, under each algorithm's memory model.
+//! * `cargo run --release -p kex-bench --bin bounds -- <thm|all>` —
+//!   Theorems 1–10 (E2–E6): parameter sweeps, measured vs. formula.
+//! * `cargo run --release -p kex-bench --bin resilience` — E7: failure
+//!   injection, survivors' progress at `f = 0 .. k` crashes.
+//! * `cargo bench -p kex-bench` — E9: native wall-clock scalability on
+//!   the host machine (criterion).
+//!
+//! This library crate holds the shared measurement machinery.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{measure, Measurement, Workload};

@@ -1,0 +1,47 @@
+//! Measures reachable-state counts of the model-checked instances, so the
+//! exhaustive tests can be sized to stay fast. Run with:
+//! `cargo run --release -p kex-core --example statespace_probe`
+
+use std::time::Instant;
+
+use kex_core::sim::Algorithm;
+use kex_sim::explore::{explore, ExploreConfig};
+
+fn probe(label: &str, algo: Algorithm, n: usize, k: usize, failures: usize, cap: usize) {
+    probe_cycles(label, algo, n, k, failures, cap, None)
+}
+
+fn probe_cycles(
+    label: &str,
+    algo: Algorithm,
+    n: usize,
+    k: usize,
+    failures: usize,
+    cap: usize,
+    cycles: Option<u64>,
+) {
+    let proto = algo.build(n, k, 16);
+    let cfg = ExploreConfig {
+        max_failures: failures,
+        max_states: cap,
+        cycles,
+        ..ExploreConfig::default()
+    };
+    let t = Instant::now();
+    let report = explore(proto, &cfg);
+    println!(
+        "{label:<28} n={n} k={k} f={failures}: states={}{} transitions={} violation={} in {:?}",
+        report.states,
+        if report.truncated { "+ (TRUNCATED)" } else { "" },
+        report.transitions,
+        report.violation.is_some(),
+        t.elapsed()
+    );
+}
+
+fn main() {
+    let cap = 3_000_000;
+    probe_cycles("dsm-chain c=1 f=1", Algorithm::DsmChain, 3, 2, 1, cap, Some(1));
+    probe("graceful", Algorithm::CcGraceful, 3, 1, 0, cap);
+    probe("cc-fastpath", Algorithm::CcFastPath, 3, 1, 0, cap);
+}

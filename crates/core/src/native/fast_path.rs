@@ -1,0 +1,366 @@
+//! Native Figure-4 fast path (Theorems 3/7) and the gracefully
+//! degrading nested variant (Theorems 4/8).
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
+
+use crossbeam_utils::CachePadded;
+
+use super::fig2::CcChainKex;
+use super::fig6::DsmChainKex;
+use super::raw::RawKex;
+use super::tree::{NativeBlockFactory, TreeKex};
+
+/// Range-safe `fetch_and_increment(X, -1)` per the paper's footnote 2:
+/// decrements only if positive; returns whether a slot was obtained.
+#[inline]
+fn try_grab(x: &AtomicIsize) -> bool {
+    x.fetch_update(SeqCst, SeqCst, |v| if v > 0 { Some(v - 1) } else { None })
+        .is_ok()
+}
+
+/// Figure 4 over a tree slow path — Theorems 3 and 7.
+///
+/// With contention at most `k`, an acquisition costs one fetch-and-add
+/// pair plus an uncontended pass through a single `(2k, k)` block —
+/// `O(k)` remote references independent of `N`. Once contention exceeds
+/// `k`, overflow processes take the `(N, k)` tree (`O(k log(N/k))`).
+/// This is the variant to reach for by default.
+///
+/// ```rust
+/// use kex_core::native::{FastPathKex, RawKex};
+///
+/// let kex = FastPathKex::new(64, 4); // 64 threads, 4 slots
+/// kex.acquire(9);
+/// // ... protected section, at most 4 threads here ...
+/// kex.release(9);
+/// ```
+pub struct FastPathKex {
+    inner: FastPathInner,
+    n: usize,
+    k: usize,
+}
+
+#[allow(clippy::large_enum_variant)] // one long-lived allocation per lock
+enum FastPathInner {
+    /// `n <= 2k`: a single block is the whole algorithm.
+    Single(Box<dyn RawKex>),
+    Split {
+        /// Fast-path slot counter, `0..=k`, initially `k`.
+        x: CachePadded<AtomicIsize>,
+        /// The `(N, k)` slow path.
+        slow: TreeKex,
+        /// The final `(2k, k)` block.
+        block: Box<dyn RawKex>,
+        /// Per-process "took the slow path" flags (each private to its
+        /// owner; atomics only to keep the structure `Sync`).
+        slow_flag: Vec<CachePadded<AtomicUsize>>,
+    },
+}
+
+impl std::fmt::Debug for FastPathKex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastPathKex")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+impl FastPathKex {
+    /// Cache-coherent variant (Figure-2 blocks) — Theorem 3.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self::with_factory(n, k, &|u, m, k| Box::new(CcChainKex::with_universe(u, m, k)))
+    }
+
+    /// DSM variant (Figure-6 blocks) — Theorem 7.
+    pub fn new_dsm(n: usize, k: usize) -> Self {
+        Self::with_factory(n, k, &|u, m, k| {
+            Box::new(DsmChainKex::with_universe(u, m, k))
+        })
+    }
+
+    /// Fast path over blocks from an arbitrary factory.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k < n`.
+    pub fn with_factory(n: usize, k: usize, factory: &NativeBlockFactory) -> Self {
+        assert!(k >= 1 && k < n, "FastPathKex requires 1 <= k < n");
+        let inner = if n <= 2 * k {
+            FastPathInner::Single(factory(n, n, k))
+        } else {
+            FastPathInner::Split {
+                x: CachePadded::new(AtomicIsize::new(k as isize)),
+                slow: TreeKex::with_factory(n, k, factory),
+                block: factory(n, 2 * k, k),
+                slow_flag: (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+            }
+        };
+        FastPathKex { inner, n, k }
+    }
+}
+
+impl RawKex for FastPathKex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn acquire(&self, p: usize) {
+        assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        match &self.inner {
+            FastPathInner::Single(b) => b.acquire(p),
+            FastPathInner::Split {
+                x,
+                slow,
+                block,
+                slow_flag,
+            } => {
+                // Statements 1–5 of Figure 4.
+                if try_grab(x) {
+                    slow_flag[p].store(0, SeqCst);
+                } else {
+                    slow_flag[p].store(1, SeqCst);
+                    slow.acquire(p);
+                }
+                block.acquire(p);
+            }
+        }
+    }
+
+    fn release(&self, p: usize) {
+        match &self.inner {
+            FastPathInner::Single(b) => b.release(p),
+            FastPathInner::Split {
+                x,
+                slow,
+                block,
+                slow_flag,
+            } => {
+                // Statements 6–9 of Figure 4.
+                block.release(p);
+                if slow_flag[p].load(SeqCst) != 0 {
+                    slow.release(p);
+                } else {
+                    x.fetch_add(1, SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// The gracefully degrading construction — Theorems 4 and 8: Figure 4
+/// applied recursively, so the cost of an acquisition is proportional to
+/// the contention `c` actually encountered (`O(⌈c/k⌉·k)`), not to the
+/// worst case.
+///
+/// Level `i` offers `k` fast slots; a process that finds them taken
+/// descends to level `i+1`, down to a plain `(2k, k)`-population chain at
+/// the bottom. It then acquires one `(2k, k)` block per visited level on
+/// the way back up.
+pub struct GracefulKex {
+    levels: Vec<GracefulLevel>,
+    base: Box<dyn RawKex>,
+    /// Per-process descent depth of the current acquisition.
+    depth: Vec<CachePadded<AtomicUsize>>,
+    n: usize,
+    k: usize,
+}
+
+struct GracefulLevel {
+    x: CachePadded<AtomicIsize>,
+    block: Box<dyn RawKex>,
+}
+
+impl std::fmt::Debug for GracefulKex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GracefulKex")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("levels", &self.levels.len())
+            .finish()
+    }
+}
+
+impl GracefulKex {
+    /// Cache-coherent variant — Theorem 4.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self::with_factory(n, k, &|u, m, k| Box::new(CcChainKex::with_universe(u, m, k)))
+    }
+
+    /// DSM variant — Theorem 8.
+    pub fn new_dsm(n: usize, k: usize) -> Self {
+        Self::with_factory(n, k, &|u, m, k| {
+            Box::new(DsmChainKex::with_universe(u, m, k))
+        })
+    }
+
+    /// Graceful nesting over blocks from an arbitrary factory.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k < n`.
+    pub fn with_factory(n: usize, k: usize, factory: &NativeBlockFactory) -> Self {
+        assert!(k >= 1 && k < n, "GracefulKex requires 1 <= k < n");
+        let mut levels = Vec::new();
+        let mut pop = n;
+        while pop > 2 * k {
+            levels.push(GracefulLevel {
+                x: CachePadded::new(AtomicIsize::new(k as isize)),
+                block: factory(n, 2 * k, k),
+            });
+            pop -= k;
+        }
+        GracefulKex {
+            levels,
+            base: factory(n, pop, k),
+            depth: (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+            n,
+            k,
+        }
+    }
+
+    /// Number of fast-path levels (the bottom chain is one more hop).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl RawKex for GracefulKex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn acquire(&self, p: usize) {
+        assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        // Descend until a fast slot is grabbed (or the base is reached).
+        let mut d = 0;
+        while d < self.levels.len() && !try_grab(&self.levels[d].x) {
+            d += 1;
+        }
+        self.depth[p].store(d, SeqCst);
+        if d == self.levels.len() {
+            self.base.acquire(p);
+        }
+        // Unfolding the recursion "entry(i) = [entry(i+1)] ; block_i":
+        // acquire the blocks of every visited level, deepest first.
+        if !self.levels.is_empty() {
+            let top = d.min(self.levels.len() - 1);
+            for i in (0..=top).rev() {
+                self.levels[i].block.acquire(p);
+            }
+        }
+    }
+
+    fn release(&self, p: usize) {
+        let d = self.depth[p].load(SeqCst);
+        // Mirror image: "exit(i) = block_i ; [exit(i+1) | X_i += 1]".
+        if !self.levels.is_empty() {
+            let top = d.min(self.levels.len() - 1);
+            for level in &self.levels[..=top] {
+                level.block.release(p);
+            }
+        }
+        if d == self.levels.len() {
+            self.base.release(p);
+        } else {
+            self.levels[d].x.fetch_add(1, SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::testutil::{crash_stress, max_concurrency, occupancy_stress};
+    use std::time::Duration;
+
+    #[test]
+    fn fast_path_never_exceeds_k() {
+        for (n, k) in [(4, 2), (8, 2), (12, 3), (16, 4)] {
+            let kex = FastPathKex::new(n, k);
+            let report = occupancy_stress(&kex, 200);
+            assert!(report.max_seen <= k, "(n={n},k={k}): {}", report.max_seen);
+            assert_eq!(report.total_entries, n as u64 * 200);
+        }
+    }
+
+    #[test]
+    fn dsm_fast_path_never_exceeds_k() {
+        let kex = FastPathKex::new_dsm(12, 3);
+        let report = occupancy_stress(&kex, 150);
+        assert!(report.max_seen <= 3);
+        assert_eq!(report.total_entries, 12 * 150);
+    }
+
+    #[test]
+    fn fast_path_k_holders_rendezvous() {
+        let kex = FastPathKex::new(12, 3);
+        assert_eq!(max_concurrency(&kex, 3, Duration::from_secs(2)), 3);
+    }
+
+    #[test]
+    fn graceful_never_exceeds_k() {
+        for (n, k) in [(4, 2), (8, 2), (13, 3)] {
+            let kex = GracefulKex::new(n, k);
+            let report = occupancy_stress(&kex, 200);
+            assert!(report.max_seen <= k, "(n={n},k={k}): {}", report.max_seen);
+            assert_eq!(report.total_entries, n as u64 * 200);
+        }
+    }
+
+    #[test]
+    fn graceful_dsm_never_exceeds_k() {
+        let kex = GracefulKex::new_dsm(9, 3);
+        let report = occupancy_stress(&kex, 150);
+        assert!(report.max_seen <= 3);
+        assert_eq!(report.total_entries, 9 * 150);
+    }
+
+    #[test]
+    fn graceful_k_holders_rendezvous() {
+        let kex = GracefulKex::new(10, 2);
+        assert_eq!(max_concurrency(&kex, 2, Duration::from_secs(2)), 2);
+    }
+
+    #[test]
+    fn graceful_level_count_matches_population_shrink() {
+        assert_eq!(GracefulKex::new(4, 2).level_count(), 0);
+        assert_eq!(GracefulKex::new(6, 2).level_count(), 1);
+        assert_eq!(GracefulKex::new(8, 2).level_count(), 2);
+    }
+
+    #[test]
+    fn fast_path_survives_k_minus_1_crashes_in_cs() {
+        // Two of k = 3 holders crash inside; the other six threads must
+        // keep completing acquisitions through the remaining slot.
+        let kex = FastPathKex::new(8, 3);
+        let completed = crash_stress(&kex, &[0, 1], 200);
+        assert_eq!(completed, 6 * 200);
+    }
+
+    #[test]
+    fn graceful_survives_k_minus_1_crashes_in_cs() {
+        let kex = GracefulKex::new(8, 3);
+        let completed = crash_stress(&kex, &[0, 1], 200);
+        assert_eq!(completed, 6 * 200);
+    }
+
+    #[test]
+    fn chain_and_tree_survive_crashes_too() {
+        use crate::native::fig2::CcChainKex;
+        use crate::native::fig6::DsmChainKex;
+        use crate::native::tree::TreeKex;
+        let kex = CcChainKex::new(6, 2);
+        assert_eq!(crash_stress(&kex, &[3], 150), 5 * 150);
+        let kex = DsmChainKex::new(6, 2);
+        assert_eq!(crash_stress(&kex, &[3], 150), 5 * 150);
+        let kex = TreeKex::cc(8, 2);
+        assert_eq!(crash_stress(&kex, &[7], 150), 7 * 150);
+    }
+}

@@ -1,0 +1,235 @@
+//! Native Figure-6 stages and the Theorem-5 chain: the bounded-space
+//! DSM algorithm over real atomics.
+//!
+//! On a multicore this behaves like any other local-spin lock family;
+//! its distinguishing property — every process spins on a *statically
+//! owned* location, never on a shared hot word — matters on NUMA and
+//! non-coherent machines and is what Theorems 5–8 count. The per-process
+//! spin locations `P[p][..]` and handshake counters `R[p][..]` are
+//! cache-line padded per process so one process's spinning does not
+//! false-share with another's.
+//!
+//! See [`crate::sim::fig6`] for the statement-exact rendition and the
+//! exhaustive model-checking coverage.
+
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering::SeqCst};
+
+use crossbeam_utils::{Backoff, CachePadded};
+
+use super::raw::RawKex;
+
+/// Per-process slice of one stage: `k+2` spin flags and handshake
+/// counters, plus the owner-private `last` cursor.
+#[derive(Debug)]
+struct ProcSlots {
+    /// Spin locations `P[p][0..locs]`.
+    p: Vec<AtomicBool>,
+    /// Handshake counters `R[p][0..locs]`.
+    r: Vec<AtomicIsize>,
+    /// `last`: private to the owner (stored here to keep the stage
+    /// `Sync`; only the owner reads/writes it).
+    last: AtomicUsize,
+}
+
+impl ProcSlots {
+    fn new(locs: usize) -> Self {
+        ProcSlots {
+            p: (0..locs).map(|_| AtomicBool::new(false)).collect(),
+            r: (0..locs).map(|_| AtomicIsize::new(0)).collect(),
+            last: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// One Figure-6 stage admitting `j` processes, with `j+2` spin locations
+/// per process.
+#[derive(Debug)]
+pub(crate) struct DsmStage {
+    x: CachePadded<AtomicIsize>,
+    /// Packed `(pid, loc)` record: `pid * locs + loc`.
+    q: CachePadded<AtomicU64>,
+    slots: Vec<CachePadded<ProcSlots>>,
+    locs: usize,
+}
+
+impl DsmStage {
+    pub(crate) fn new(j: usize, n: usize) -> Self {
+        let locs = j + 2;
+        DsmStage {
+            x: CachePadded::new(AtomicIsize::new(j as isize)),
+            q: CachePadded::new(AtomicU64::new(0)), // (pid 0, loc 0)
+            slots: (0..n).map(|_| CachePadded::new(ProcSlots::new(locs))).collect(),
+            locs,
+        }
+    }
+
+    #[inline]
+    fn enc(&self, pid: usize, loc: usize) -> u64 {
+        (pid * self.locs + loc) as u64
+    }
+
+    #[inline]
+    fn dec(&self, packed: u64) -> (usize, usize) {
+        let v = packed as usize;
+        (v / self.locs, v % self.locs)
+    }
+
+    /// Statements 2–15 of Figure 6.
+    pub(crate) fn acquire(&self, p: usize) {
+        if self.x.fetch_sub(1, SeqCst) <= 0 {
+            let mine = &*self.slots[p];
+            // Statements 3–5: find a spin location with a zero handshake
+            // count, starting just past the last one used.
+            let mut next = (mine.last.load(SeqCst) + 1) % self.locs;
+            while mine.r[next].load(SeqCst) != 0 {
+                next = (next + 1) % self.locs;
+            }
+            // Statement 6: initialize it.
+            mine.p[next].store(false, SeqCst);
+            // Statement 7: read the current spin record.
+            let u = self.q.load(SeqCst);
+            let (upid, uloc) = self.dec(u);
+            // Statement 8: announce we may write P[u].
+            self.slots[upid].r[uloc].fetch_add(1, SeqCst);
+            // Statements 9–10: release the incumbent if Q is unchanged.
+            if self.q.load(SeqCst) == u {
+                self.slots[upid].p[uloc].store(true, SeqCst);
+            }
+            // Statement 11: install our location if the incumbent is
+            // still the same (detects racing releasers, cf. Lemma 2).
+            if self
+                .q
+                .compare_exchange(u, self.enc(p, next), SeqCst, SeqCst)
+                .is_ok()
+            {
+                // Statement 12.
+                mine.last.store(next, SeqCst);
+                // Statements 13–14: wait on our own location.
+                if self.x.load(SeqCst) < 0 {
+                    let backoff = Backoff::new();
+                    while !mine.p[next].load(SeqCst) {
+                        backoff.snooze();
+                    }
+                }
+            }
+            // Statement 15: done with u's location.
+            self.slots[upid].r[uloc].fetch_add(-1, SeqCst);
+        }
+    }
+
+    /// Statements 16–21 of Figure 6.
+    pub(crate) fn release(&self, _p: usize) {
+        self.x.fetch_add(1, SeqCst);
+        let u = self.q.load(SeqCst);
+        let (upid, uloc) = self.dec(u);
+        self.slots[upid].r[uloc].fetch_add(1, SeqCst);
+        if self.q.load(SeqCst) == u {
+            self.slots[upid].p[uloc].store(true, SeqCst);
+        }
+        self.slots[upid].r[uloc].fetch_add(-1, SeqCst);
+    }
+}
+
+/// Theorem 5's inductive chain of Figure-6 stages: `(N, k)`-exclusion
+/// with all spinning on per-process locations and bounded space
+/// (`k+2` locations per process per stage).
+///
+/// Worst-case RMR cost `14(N-k)` under the DSM model; use
+/// [`crate::native::TreeKex`]/[`crate::native::FastPathKex`] over
+/// `DsmChainKex` blocks for the logarithmic/fast-path variants.
+#[derive(Debug)]
+pub struct DsmChainKex {
+    stages: Vec<DsmStage>,
+    n: usize,
+    k: usize,
+}
+
+impl DsmChainKex {
+    /// Build the `(n, k)` chain.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k < n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self::with_universe(n, n, k)
+    }
+
+    /// Build an `(m, k)` chain used as a building block inside a larger
+    /// composition (see [`crate::native::CcChainKex::with_universe`]):
+    /// at most `m` of the `universe` processes contend at a time, but
+    /// spin-location arrays are indexed by global process id.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k < m <= universe`.
+    pub fn with_universe(universe: usize, m: usize, k: usize) -> Self {
+        assert!(
+            k >= 1 && k < m && m <= universe,
+            "DsmChainKex requires 1 <= k < m <= universe"
+        );
+        let stages = (k..m).rev().map(|j| DsmStage::new(j, universe)).collect();
+        DsmChainKex {
+            stages,
+            n: universe,
+            k,
+        }
+    }
+}
+
+impl RawKex for DsmChainKex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn acquire(&self, p: usize) {
+        assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        for stage in &self.stages {
+            stage.acquire(p);
+        }
+    }
+
+    fn release(&self, p: usize) {
+        for stage in self.stages.iter().rev() {
+            stage.release(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::testutil::{max_concurrency, occupancy_stress};
+    use std::time::Duration;
+
+    #[test]
+    fn never_more_than_k_inside() {
+        for (n, k) in [(2, 1), (4, 2), (8, 3)] {
+            let kex = DsmChainKex::new(n, k);
+            let report = occupancy_stress(&kex, 300);
+            assert!(
+                report.max_seen <= k,
+                "(n={n},k={k}): {} threads inside at once",
+                report.max_seen
+            );
+            assert_eq!(report.total_entries, n as u64 * 300);
+        }
+    }
+
+    #[test]
+    fn k_holders_can_rendezvous() {
+        let kex = DsmChainKex::new(6, 3);
+        assert_eq!(max_concurrency(&kex, 3, Duration::from_secs(2)), 3);
+    }
+
+    #[test]
+    fn heavy_churn_single_slot() {
+        // k = 1 degenerates to a mutex: a strong consistency hammer for
+        // the handshake protocol.
+        let kex = DsmChainKex::new(4, 1);
+        let report = occupancy_stress(&kex, 500);
+        assert_eq!(report.max_seen, 1);
+        assert_eq!(report.total_entries, 2000);
+    }
+}

@@ -1,0 +1,134 @@
+//! The MCS queue lock (Mellor-Crummey & Scott 1991, the paper's \[12\])
+//! over real atomics — the §5 "fastest spin lock" reference point for
+//! `k = 1` benchmarks.
+//!
+//! FIFO-fair mutual exclusion with `O(1)` remote references per
+//! acquisition: each waiter spins on a flag in its own (padded) queue
+//! node. Exposed through [`RawKex`] with `k() == 1` so the benchmark
+//! harness can drop it into the same tables as the paper's `(N, 1)`
+//! instances. **Not crash-resilient**: a holder or queued waiter that
+//! dies wedges everyone behind it (demonstrated exhaustively on the
+//! simulator version, [`crate::sim::mcs`]).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+
+use crossbeam_utils::{Backoff, CachePadded};
+
+use super::raw::RawKex;
+
+/// Sentinel for "no process".
+const NIL: usize = usize::MAX;
+
+/// One process's queue node.
+#[derive(Debug)]
+struct QNode {
+    /// Successor pid, or NIL.
+    next: AtomicUsize,
+    /// Spun on by the owner; cleared by the predecessor at hand-off.
+    locked: AtomicBool,
+}
+
+/// The MCS mutual-exclusion lock for processes `0..n`.
+#[derive(Debug)]
+pub struct McsLock {
+    tail: CachePadded<AtomicUsize>,
+    nodes: Vec<CachePadded<QNode>>,
+}
+
+impl McsLock {
+    /// A lock for a universe of `n` processes.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` (use a no-op for a single process).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "McsLock needs at least two processes");
+        McsLock {
+            tail: CachePadded::new(AtomicUsize::new(NIL)),
+            nodes: (0..n)
+                .map(|_| {
+                    CachePadded::new(QNode {
+                        next: AtomicUsize::new(NIL),
+                        locked: AtomicBool::new(false),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+impl RawKex for McsLock {
+    fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn k(&self) -> usize {
+        1
+    }
+
+    fn acquire(&self, p: usize) {
+        assert!(p < self.nodes.len(), "pid {p} out of range");
+        let me = &self.nodes[p];
+        me.next.store(NIL, SeqCst);
+        let pred = self.tail.swap(p, SeqCst);
+        if pred != NIL {
+            me.locked.store(true, SeqCst);
+            self.nodes[pred].next.store(p, SeqCst);
+            let backoff = Backoff::new();
+            while me.locked.load(SeqCst) {
+                backoff.snooze();
+            }
+        }
+    }
+
+    fn release(&self, p: usize) {
+        let me = &self.nodes[p];
+        if me.next.load(SeqCst) == NIL {
+            // No visible successor: try to swing the tail back.
+            if self
+                .tail
+                .compare_exchange(p, NIL, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+            // A successor is mid-announcement: wait for its link.
+            let backoff = Backoff::new();
+            while me.next.load(SeqCst) == NIL {
+                backoff.snooze();
+            }
+        }
+        let succ = me.next.load(SeqCst);
+        self.nodes[succ].locked.store(false, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::testutil::occupancy_stress;
+
+    #[test]
+    fn mutual_exclusion_under_stress() {
+        let lock = McsLock::new(8);
+        let report = occupancy_stress(&lock, 500);
+        assert_eq!(report.max_seen, 1, "MCS must be a mutex");
+        assert_eq!(report.total_entries, 8 * 500);
+    }
+
+    #[test]
+    fn heavy_two_thread_ping_pong() {
+        let lock = McsLock::new(2);
+        let report = occupancy_stress(&lock, 20_000);
+        assert_eq!(report.max_seen, 1);
+        assert_eq!(report.total_entries, 40_000);
+    }
+
+    #[test]
+    fn uncontended_fast_path_works() {
+        let lock = McsLock::new(4);
+        for _ in 0..1000 {
+            lock.acquire(2);
+            lock.release(2);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Native Figure-7 long-lived renaming via `test_and_set`.
+//!
+//! Given that at most `k` processes hold names at any time (the caller's
+//! obligation — discharged by wrapping in k-exclusion, as
+//! [`crate::native::KAssignment`] does), every acquisition terminates in
+//! at most `k-1` test-and-sets with a unique name in `0..k`, and names
+//! can be re-acquired forever (the *long-lived* property the paper
+//! contributes over prior one-shot renaming).
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+
+use crossbeam_utils::CachePadded;
+
+/// The Figure-7 name allocator: `k-1` test-and-set bits for a name space
+/// of exactly `k` (name `k-1` needs no bit; at most one process can be
+/// probing it at a time).
+#[derive(Debug)]
+pub struct TasRenaming {
+    bits: Vec<CachePadded<AtomicBool>>,
+    k: usize,
+}
+
+impl TasRenaming {
+    /// A name allocator for `k` concurrent holders.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one name");
+        TasRenaming {
+            bits: (0..k.saturating_sub(1))
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            k,
+        }
+    }
+
+    /// The name-space size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Obtain a name in `0..k`.
+    ///
+    /// Correct only while at most `k` processes (this caller included)
+    /// concurrently hold or probe names; under that precondition the loop
+    /// always finds a clear bit (or falls through to name `k-1`) — it is
+    /// wait-free with at most `k-1` shared accesses.
+    pub fn acquire_name(&self) -> usize {
+        // Statement 2: test-and-set each bit in order until one is clear.
+        for (name, bit) in self.bits.iter().enumerate() {
+            if !bit.swap(true, SeqCst) {
+                return name;
+            }
+        }
+        // All of 0..k-1 were taken: name k-1 is free by the pigeonhole
+        // argument in §4.
+        self.k - 1
+    }
+
+    /// Release a previously acquired name.
+    ///
+    /// # Panics
+    /// Panics if `name >= k`. Releasing a name that is not held corrupts
+    /// the allocator (as would double-releasing a lock).
+    pub fn release_name(&self, name: usize) {
+        assert!(name < self.k, "name {name} out of range 0..{}", self.k);
+        // Statement 3: clear the bit (name k-1 has none).
+        if name < self.k - 1 {
+            self.bits[name].store(false, SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn sequential_names_are_dense_from_zero() {
+        let r = TasRenaming::new(4);
+        let a = r.acquire_name();
+        let b = r.acquire_name();
+        let c = r.acquire_name();
+        let d = r.acquire_name();
+        let names: HashSet<_> = [a, b, c, d].into_iter().collect();
+        assert_eq!(names, HashSet::from([0, 1, 2, 3]));
+        r.release_name(b);
+        assert_eq!(r.acquire_name(), b, "released names are reusable");
+    }
+
+    #[test]
+    fn k_equals_one_never_touches_memory() {
+        let r = TasRenaming::new(1);
+        assert_eq!(r.acquire_name(), 0);
+        r.release_name(0);
+        assert_eq!(r.acquire_name(), 0);
+    }
+
+    #[test]
+    fn concurrent_holders_get_distinct_names() {
+        let k = 4;
+        let r = TasRenaming::new(k);
+        let held = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..k {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        let name = r.acquire_name();
+                        {
+                            let mut h = held.lock().unwrap();
+                            assert!(h.insert(name), "duplicate live name {name}");
+                        }
+                        std::hint::spin_loop();
+                        {
+                            let mut h = held.lock().unwrap();
+                            h.remove(&name);
+                        }
+                        r.release_name(name);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn release_rejects_foreign_names() {
+        TasRenaming::new(2).release_name(2);
+    }
+}

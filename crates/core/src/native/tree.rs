@@ -1,0 +1,175 @@
+//! Native Figure-3(a) tree composition: `(N, k)`-exclusion from
+//! `(2k, k)` building blocks, cost logarithmic in `N/k`
+//! (Theorems 2 and 6).
+
+use super::fig2::CcChainKex;
+use super::fig6::DsmChainKex;
+use super::raw::RawKex;
+
+/// A factory producing `(m, k)`-exclusion blocks over a pid universe.
+/// Arguments: `(universe, m, k)`.
+pub type NativeBlockFactory = dyn Fn(usize, usize, usize) -> Box<dyn RawKex>;
+
+/// The tree combinator: processes are partitioned into groups of `2k` at
+/// the leaves; each block admits `k`, two sibling blocks' winners meet in
+/// the parent, and the root's winners hold the critical section.
+///
+/// ```rust
+/// use kex_core::native::{RawKex, TreeKex};
+///
+/// // 32 threads, k = 4: a 3-level tree instead of a 28-stage chain.
+/// let kex = TreeKex::cc(32, 4);
+/// assert_eq!(kex.depth(), 3);
+/// let _guard = kex.enter(17);
+/// ```
+#[derive(Debug)]
+pub struct TreeKex {
+    /// `levels[0]` = leaves; the last level is the single root block.
+    /// Empty iff `n <= 2k` (then `single` is the whole algorithm).
+    levels: Vec<Vec<Box<dyn RawKex>>>,
+    single: Option<Box<dyn RawKex>>,
+    group: usize,
+    n: usize,
+    k: usize,
+}
+
+impl std::fmt::Debug for Box<dyn RawKex> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RawKex(n={}, k={})", self.n(), self.k())
+    }
+}
+
+impl TreeKex {
+    /// Tree of Figure-2 (cache-coherent) chain blocks — Theorem 2.
+    pub fn cc(n: usize, k: usize) -> Self {
+        Self::with_factory(n, k, &|u, m, k| Box::new(CcChainKex::with_universe(u, m, k)))
+    }
+
+    /// Tree of Figure-6 (DSM, bounded local-spin) chain blocks —
+    /// Theorem 6.
+    pub fn dsm(n: usize, k: usize) -> Self {
+        Self::with_factory(n, k, &|u, m, k| {
+            Box::new(DsmChainKex::with_universe(u, m, k))
+        })
+    }
+
+    /// Tree over blocks produced by an arbitrary factory.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k < n`.
+    pub fn with_factory(n: usize, k: usize, factory: &NativeBlockFactory) -> Self {
+        assert!(k >= 1 && k < n, "TreeKex requires 1 <= k < n");
+        if n <= 2 * k {
+            return TreeKex {
+                levels: Vec::new(),
+                single: Some(factory(n, n, k)),
+                group: 2 * k,
+                n,
+                k,
+            };
+        }
+        let mut levels = Vec::new();
+        let mut count = n.div_ceil(2 * k);
+        loop {
+            let level: Vec<Box<dyn RawKex>> =
+                (0..count).map(|_| factory(n, 2 * k, k)).collect();
+            levels.push(level);
+            if count == 1 {
+                break;
+            }
+            count = count.div_ceil(2);
+        }
+        TreeKex {
+            levels,
+            single: None,
+            group: 2 * k,
+            n,
+            k,
+        }
+    }
+
+    /// The number of blocks on each acquisition path.
+    pub fn depth(&self) -> usize {
+        if self.single.is_some() {
+            1
+        } else {
+            self.levels.len()
+        }
+    }
+
+    #[inline]
+    fn block_at(&self, level: usize, p: usize) -> &dyn RawKex {
+        let g = (p / self.group) >> level;
+        &*self.levels[level][g]
+    }
+}
+
+impl RawKex for TreeKex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn acquire(&self, p: usize) {
+        assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        if let Some(single) = &self.single {
+            single.acquire(p);
+            return;
+        }
+        for level in 0..self.levels.len() {
+            self.block_at(level, p).acquire(p);
+        }
+    }
+
+    fn release(&self, p: usize) {
+        if let Some(single) = &self.single {
+            single.release(p);
+            return;
+        }
+        for level in (0..self.levels.len()).rev() {
+            self.block_at(level, p).release(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::testutil::{max_concurrency, occupancy_stress};
+    use std::time::Duration;
+
+    #[test]
+    fn cc_tree_never_exceeds_k() {
+        for (n, k) in [(8, 2), (12, 3), (16, 2)] {
+            let kex = TreeKex::cc(n, k);
+            let report = occupancy_stress(&kex, 150);
+            assert!(report.max_seen <= k, "(n={n},k={k}): {}", report.max_seen);
+            assert_eq!(report.total_entries, n as u64 * 150);
+        }
+    }
+
+    #[test]
+    fn dsm_tree_never_exceeds_k() {
+        let kex = TreeKex::dsm(12, 3);
+        let report = occupancy_stress(&kex, 150);
+        assert!(report.max_seen <= 3);
+        assert_eq!(report.total_entries, 12 * 150);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        assert_eq!(TreeKex::cc(4, 2).depth(), 1);
+        assert_eq!(TreeKex::cc(8, 2).depth(), 2);
+        assert_eq!(TreeKex::cc(16, 2).depth(), 3);
+        assert_eq!(TreeKex::cc(32, 2).depth(), 4);
+    }
+
+    #[test]
+    fn k_holders_rendezvous_through_the_tree() {
+        let kex = TreeKex::cc(12, 3);
+        assert_eq!(max_concurrency(&kex, 3, Duration::from_secs(2)), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Native Yang–Anderson arbitration-tree mutual exclusion (the paper's
+//! \[14\]): `O(log N)` RMR from **reads and writes only**.
+//!
+//! See [`crate::sim::yang_anderson`] for the statement-level rendition
+//! and exhaustive model-checking coverage; this is the same algorithm on
+//! real atomics (loads/stores only — the entire lock contains no RMW
+//! instruction), for the k = 1 wall-clock comparison against
+//! [`crate::native::McsLock`] and the paper's `(N, 1)` instances.
+
+use std::sync::atomic::{AtomicIsize, AtomicU8, Ordering::SeqCst};
+
+use crossbeam_utils::{Backoff, CachePadded};
+
+use super::raw::RawKex;
+
+const NIL: isize = -1;
+
+/// One two-process arbitration instance.
+#[derive(Debug)]
+struct Ya2 {
+    c: [CachePadded<AtomicIsize>; 2],
+    t: CachePadded<AtomicIsize>,
+    /// Per-process spin flags (0 → 1 → 2), padded per process.
+    p: Vec<CachePadded<AtomicU8>>,
+}
+
+impl Ya2 {
+    fn new(n: usize) -> Self {
+        Ya2 {
+            c: [
+                CachePadded::new(AtomicIsize::new(NIL)),
+                CachePadded::new(AtomicIsize::new(NIL)),
+            ],
+            t: CachePadded::new(AtomicIsize::new(NIL)),
+            p: (0..n).map(|_| CachePadded::new(AtomicU8::new(0))).collect(),
+        }
+    }
+}
+
+/// Read/write-only mutual exclusion for processes `0..n`.
+#[derive(Debug)]
+pub struct YangAndersonLock {
+    levels: Vec<Vec<Ya2>>,
+    n: usize,
+}
+
+impl YangAndersonLock {
+    /// A lock for a universe of `n` processes.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "YangAndersonLock needs at least two processes");
+        let depth = usize::max(1, n.next_power_of_two().trailing_zeros() as usize);
+        let levels = (0..depth)
+            .map(|l| {
+                let instances = usize::max(1, n.next_power_of_two() >> (l + 1));
+                (0..instances).map(|_| Ya2::new(n)).collect()
+            })
+            .collect();
+        YangAndersonLock { levels, n }
+    }
+
+    /// Rounds on each acquisition path.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn round(&self, level: usize, p: usize) {
+        let inst = &self.levels[level][p >> (level + 1)];
+        let side = (p >> level) & 1;
+        inst.c[side].store(p as isize, SeqCst);
+        inst.t.store(p as isize, SeqCst);
+        inst.p[p].store(0, SeqCst);
+        let rival = inst.c[1 - side].load(SeqCst);
+        if rival != NIL && inst.t.load(SeqCst) == p as isize {
+            if inst.p[rival as usize].load(SeqCst) == 0 {
+                inst.p[rival as usize].store(1, SeqCst);
+            }
+            let backoff = Backoff::new();
+            while inst.p[p].load(SeqCst) == 0 {
+                backoff.snooze();
+            }
+            if inst.t.load(SeqCst) == p as isize {
+                let backoff = Backoff::new();
+                while inst.p[p].load(SeqCst) <= 1 {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    fn unround(&self, level: usize, p: usize) {
+        let inst = &self.levels[level][p >> (level + 1)];
+        let side = (p >> level) & 1;
+        inst.c[side].store(NIL, SeqCst);
+        let rival = inst.t.load(SeqCst);
+        if rival != p as isize && rival != NIL {
+            inst.p[rival as usize].store(2, SeqCst);
+        }
+    }
+}
+
+impl RawKex for YangAndersonLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        1
+    }
+
+    fn acquire(&self, p: usize) {
+        assert!(p < self.n, "pid {p} out of range");
+        for level in 0..self.levels.len() {
+            self.round(level, p);
+        }
+    }
+
+    fn release(&self, p: usize) {
+        for level in (0..self.levels.len()).rev() {
+            self.unround(level, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::testutil::occupancy_stress;
+
+    #[test]
+    fn mutual_exclusion_under_stress() {
+        for n in [2usize, 4, 8] {
+            let lock = YangAndersonLock::new(n);
+            let report = occupancy_stress(&lock, 400);
+            assert_eq!(report.max_seen, 1, "n={n}: YA must be a mutex");
+            assert_eq!(report.total_entries, n as u64 * 400);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_universe() {
+        let lock = YangAndersonLock::new(6);
+        assert_eq!(lock.depth(), 3);
+        let report = occupancy_stress(&lock, 300);
+        assert_eq!(report.max_seen, 1);
+        assert_eq!(report.total_entries, 1800);
+    }
+
+    #[test]
+    fn uncontended_path_is_cheap_and_reentrant_over_time() {
+        let lock = YangAndersonLock::new(4);
+        for _ in 0..10_000 {
+            lock.acquire(3);
+            lock.release(3);
+        }
+    }
+}

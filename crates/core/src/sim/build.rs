@@ -1,0 +1,236 @@
+//! Ready-made protocol factories: every algorithm variant of the paper,
+//! buildable by name for experiments.
+
+use std::sync::Arc;
+
+use kex_sim::memmodel::MemoryModel;
+use kex_sim::protocol::{Protocol, ProtocolBuilder};
+use kex_sim::types::NodeId;
+
+use super::assignment::assignment;
+use super::fast_path::{fast_path_over_tree, graceful};
+use super::fig1_queue::fig1_queue;
+use super::fig2::fig2_chain;
+use super::fig5::fig5_chain;
+use super::fig6::fig6_chain;
+use super::global_spin::global_spin;
+use super::tree::tree;
+
+/// Every simulator algorithm variant, for experiment catalogs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Figure 1: atomic-queue baseline (large atomic sections, like
+    /// \[9\]/\[10\] in Table 1).
+    QueueFig1,
+    /// Non-local-spin global counter baseline (unbounded RMRs under
+    /// contention, like \[8\]/\[1\] in Table 1).
+    GlobalSpin,
+    /// Theorem 1: Figure-2 inductive chain (CC, `7(N-k)`).
+    CcChain,
+    /// Theorem 2: tree of Figure-2 `(2k,k)` blocks (CC, `7k·log2⌈N/k⌉`).
+    CcTree,
+    /// Theorem 3: fast path over a CC tree (`O(k)` at low contention).
+    CcFastPath,
+    /// Theorem 4: gracefully degrading nested fast paths (CC).
+    CcGraceful,
+    /// Figure 5 chain: DSM, unbounded spin locations.
+    DsmUnboundedChain,
+    /// Theorem 5: Figure-6 inductive chain (DSM, `14(N-k)`).
+    DsmChain,
+    /// Theorem 6: tree of Figure-6 blocks (DSM, `14k·log2⌈N/k⌉`).
+    DsmTree,
+    /// Theorem 7: fast path over a DSM tree.
+    DsmFastPath,
+    /// Theorem 8: gracefully degrading nested fast paths (DSM).
+    DsmGraceful,
+    /// Theorem 9: k-assignment = CC fast path + Figure-7 renaming.
+    AssignmentCc,
+    /// Theorem 10: k-assignment = DSM fast path + Figure-7 renaming.
+    AssignmentDsm,
+}
+
+impl Algorithm {
+    /// All variants, in Table-1 presentation order.
+    pub const ALL: [Algorithm; 13] = [
+        Algorithm::QueueFig1,
+        Algorithm::GlobalSpin,
+        Algorithm::CcChain,
+        Algorithm::CcTree,
+        Algorithm::CcFastPath,
+        Algorithm::CcGraceful,
+        Algorithm::DsmUnboundedChain,
+        Algorithm::DsmChain,
+        Algorithm::DsmTree,
+        Algorithm::DsmFastPath,
+        Algorithm::DsmGraceful,
+        Algorithm::AssignmentCc,
+        Algorithm::AssignmentDsm,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::QueueFig1 => "fig1-queue",
+            Algorithm::GlobalSpin => "global-spin",
+            Algorithm::CcChain => "cc-chain (Thm 1)",
+            Algorithm::CcTree => "cc-tree (Thm 2)",
+            Algorithm::CcFastPath => "cc-fastpath (Thm 3)",
+            Algorithm::CcGraceful => "cc-graceful (Thm 4)",
+            Algorithm::DsmUnboundedChain => "dsm-unbounded (Fig 5)",
+            Algorithm::DsmChain => "dsm-chain (Thm 5)",
+            Algorithm::DsmTree => "dsm-tree (Thm 6)",
+            Algorithm::DsmFastPath => "dsm-fastpath (Thm 7)",
+            Algorithm::DsmGraceful => "dsm-graceful (Thm 8)",
+            Algorithm::AssignmentCc => "assign-cc (Thm 9)",
+            Algorithm::AssignmentDsm => "assign-dsm (Thm 10)",
+        }
+    }
+
+    /// The memory model this variant targets (used for RMR accounting in
+    /// experiments; any variant *runs* correctly under either model).
+    pub fn model(self) -> MemoryModel {
+        match self {
+            Algorithm::QueueFig1
+            | Algorithm::GlobalSpin
+            | Algorithm::CcChain
+            | Algorithm::CcTree
+            | Algorithm::CcFastPath
+            | Algorithm::CcGraceful
+            | Algorithm::AssignmentCc => MemoryModel::CacheCoherent,
+            _ => MemoryModel::Dsm,
+        }
+    }
+
+    /// Build the `(n, k)` instance of this variant.
+    ///
+    /// `max_locs` only matters for [`Algorithm::DsmUnboundedChain`]
+    /// (Figure 5's simulated location supply).
+    pub fn build(self, n: usize, k: usize, max_locs: usize) -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(n);
+        let root: NodeId = match self {
+            Algorithm::QueueFig1 => fig1_queue(&mut b, k),
+            Algorithm::GlobalSpin => global_spin(&mut b, k),
+            Algorithm::CcChain => fig2_chain(&mut b, n, k),
+            Algorithm::CcTree => tree(&mut b, n, k, &mut |b, m, k| fig2_chain(b, m, k)),
+            Algorithm::CcFastPath => {
+                fast_path_over_tree(&mut b, n, k, &mut |b, m, k| fig2_chain(b, m, k))
+            }
+            Algorithm::CcGraceful => graceful(&mut b, n, k, &mut |b, m, k| fig2_chain(b, m, k)),
+            Algorithm::DsmUnboundedChain => fig5_chain(&mut b, n, k, max_locs),
+            Algorithm::DsmChain => fig6_chain(&mut b, n, k),
+            Algorithm::DsmTree => tree(&mut b, n, k, &mut |b, m, k| fig6_chain(b, m, k)),
+            Algorithm::DsmFastPath => {
+                fast_path_over_tree(&mut b, n, k, &mut |b, m, k| fig6_chain(b, m, k))
+            }
+            Algorithm::DsmGraceful => graceful(&mut b, n, k, &mut |b, m, k| fig6_chain(b, m, k)),
+            Algorithm::AssignmentCc => {
+                let kex = fast_path_over_tree(&mut b, n, k, &mut |b, m, k| fig2_chain(b, m, k));
+                assignment(&mut b, k, kex)
+            }
+            Algorithm::AssignmentDsm => {
+                let kex = fast_path_over_tree(&mut b, n, k, &mut |b, m, k| fig6_chain(b, m, k));
+                assignment(&mut b, k, kex)
+            }
+        };
+        b.finish(root, k)
+    }
+}
+
+/// Theorem-1-style chain: `(n, k)`-exclusion, CC, `7(N-k)` bound.
+pub fn cc_chain(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::CcChain.build(n, k, 0)
+}
+
+/// Theorem-2 tree on CC.
+pub fn cc_tree(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::CcTree.build(n, k, 0)
+}
+
+/// Theorem-3 fast path on CC.
+pub fn cc_fast_path(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::CcFastPath.build(n, k, 0)
+}
+
+/// Theorem-4 graceful degradation on CC.
+pub fn cc_graceful(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::CcGraceful.build(n, k, 0)
+}
+
+/// Figure-5 chain on DSM with a bounded location supply.
+pub fn dsm_unbounded_chain(n: usize, k: usize, max_locs: usize) -> Arc<Protocol> {
+    Algorithm::DsmUnboundedChain.build(n, k, max_locs)
+}
+
+/// Theorem-5 chain (Figure 6) on DSM.
+pub fn dsm_chain(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::DsmChain.build(n, k, 0)
+}
+
+/// Theorem-6 tree on DSM.
+pub fn dsm_tree(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::DsmTree.build(n, k, 0)
+}
+
+/// Theorem-7 fast path on DSM.
+pub fn dsm_fast_path(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::DsmFastPath.build(n, k, 0)
+}
+
+/// Theorem-8 graceful degradation on DSM.
+pub fn dsm_graceful(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::DsmGraceful.build(n, k, 0)
+}
+
+/// Figure-1 queue baseline.
+pub fn queue_fig1(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::QueueFig1.build(n, k, 0)
+}
+
+/// Global-spin baseline.
+pub fn global_spin_baseline(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::GlobalSpin.build(n, k, 0)
+}
+
+/// Theorem-9 k-assignment (CC).
+pub fn assignment_cc(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::AssignmentCc.build(n, k, 0)
+}
+
+/// Theorem-10 k-assignment (DSM).
+pub fn assignment_dsm(n: usize, k: usize) -> Arc<Protocol> {
+    Algorithm::AssignmentDsm.build(n, k, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kex_sim::prelude::*;
+
+    #[test]
+    fn every_variant_builds_and_runs_safely() {
+        for algo in Algorithm::ALL {
+            let proto = algo.build(6, 2, 512);
+            let mut sim = Sim::new(proto, algo.model())
+                .cycles(8)
+                .scheduler(RandomSched::new(1))
+                .build();
+            let report = sim.run(10_000_000);
+            report.assert_safe();
+            assert_eq!(
+                report.stop,
+                StopReason::Quiescent,
+                "{} did not quiesce",
+                algo.label()
+            );
+            assert_eq!(report.total_completed(), 6 * 8, "{}", algo.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Algorithm::ALL.iter().map(|a| a.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), Algorithm::ALL.len());
+    }
+}

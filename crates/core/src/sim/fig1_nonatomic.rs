@@ -1,0 +1,211 @@
+//! The *naive realistic decomposition* of Figure 1 — and why it fails.
+//!
+//! Figure 1 is correct **because** its queue operations execute inside
+//! multi-word atomic sections (the paper's Table 1 files its ancestors
+//! \[9, 10\] under "Large Critical Sections"). The paper's §3 argues
+//! that implementing those sections out of realistic single-word
+//! primitives is precisely the hard part: *"Such an implementation is
+//! complicated by the possibility that a process may fail after having
+//! only partially executed a queue operation."*
+//!
+//! This module makes that argument mechanical. It is Figure 1 with the
+//! angle brackets deleted — every shared access its own atomic
+//! statement, with no added synchronization:
+//!
+//! ```text
+//! entry:  1a: if fetch_and_increment(X,-1) <= 0 then
+//!         1b:     t := Q.len            /* read tail      */
+//!         1c:     Q.slots[t] := p       /* publish self   */
+//!         1d:     Q.len := t + 1        /* commit enqueue */
+//!         2:      while Element(p, Q) do od
+//! exit:   3a: t := Q.len
+//!         3b: if t > 0 then shift/clear  (one statement per slot move)
+//!         3c: Q.len := t - 1
+//!         3d: fetch_and_increment(X, 1)
+//! ```
+//!
+//! Two enqueuers can now interleave at 1b/1c and overwrite each other's
+//! slot; a lost waiter believes it is queued, `Element` says otherwise,
+//! and it walks straight into the critical section — **k-exclusion is
+//! violated**. The model-checking test below has the explorer find such
+//! an interleaving automatically, which is this repository's mechanized
+//! version of the paper's "first difficulty". (Given a crash between 1c
+//! and 1d the queue also wedges, the "second difficulty".)
+//!
+//! Nothing outside the test suite should use this node; it exists as a
+//! negative control.
+
+use kex_sim::mem::MemCtx;
+use kex_sim::node::Node;
+use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::vars::at;
+use kex_sim::types::{NodeId, Section, Step, VarId, Word};
+
+/// Local-variable layout.
+const L_T: usize = 0;
+
+/// Figure 1 with its atomic sections naively decomposed.
+pub struct NonatomicQueueNode {
+    x: VarId,
+    len: VarId,
+    slots: VarId,
+    n: usize,
+}
+
+impl NonatomicQueueNode {
+    /// Allocate the same variables as the atomic version.
+    pub fn new(b: &mut ProtocolBuilder, k: usize) -> Self {
+        let n = b.n();
+        let x = b.vars.alloc("fig1na.X", k as Word);
+        let len = b.vars.alloc("fig1na.len", 0);
+        let slots = b.vars.alloc_array("fig1na.q", n, -1);
+        NonatomicQueueNode { x, len, slots, n }
+    }
+}
+
+impl Node for NonatomicQueueNode {
+    fn name(&self) -> String {
+        format!("fig1-nonatomic(n={})", self.n)
+    }
+
+    fn locals_len(&self) -> usize {
+        1
+    }
+
+    fn step(&self, sec: Section, pc: u32, locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step {
+        let p = mem.pid() as Word;
+        match (sec, pc) {
+            // 1a: the slot counter check.
+            (Section::Entry, 0) => {
+                if mem.fetch_and_increment(self.x, -1) <= 0 {
+                    Step::Goto(1)
+                } else {
+                    Step::Return
+                }
+            }
+            // 1b: read the tail — RACE: another enqueuer may read the
+            // same value.
+            (Section::Entry, 1) => {
+                locals[L_T] = mem.read(self.len);
+                Step::Goto(2)
+            }
+            // 1c: publish into the (possibly stale) slot.
+            (Section::Entry, 2) => {
+                mem.write(at(self.slots, locals[L_T] as usize % self.n), p);
+                Step::Goto(3)
+            }
+            // 1d: commit.
+            (Section::Entry, 3) => {
+                mem.write(self.len, locals[L_T] + 1);
+                Step::Goto(4)
+            }
+            // 2: while Element(p, Q) — one scan per statement, as in the
+            // atomic version.
+            (Section::Entry, 4) => {
+                let len = mem.read(self.len);
+                let mut queued = false;
+                for i in 0..(len as usize).min(self.n) {
+                    if mem.read(at(self.slots, i)) == p {
+                        queued = true;
+                        break;
+                    }
+                }
+                if queued {
+                    Step::Goto(4)
+                } else {
+                    Step::Return
+                }
+            }
+
+            // 3a: read length.
+            (Section::Exit, 0) => {
+                locals[L_T] = mem.read(self.len);
+                Step::Goto(if locals[L_T] > 0 { 1 } else { 3 })
+            }
+            // 3b: shift left (single statement here; the race of interest
+            // is already present in the enqueue path).
+            (Section::Exit, 1) => {
+                let len = (locals[L_T] as usize).min(self.n);
+                for i in 1..len {
+                    let v = mem.read(at(self.slots, i));
+                    mem.write(at(self.slots, i - 1), v);
+                }
+                mem.write(at(self.slots, len - 1), -1);
+                Step::Goto(2)
+            }
+            // 3c: commit the dequeue.
+            (Section::Exit, 2) => {
+                mem.write(self.len, locals[L_T] - 1);
+                Step::Goto(3)
+            }
+            // 3d: return the slot.
+            (Section::Exit, 3) => {
+                mem.fetch_and_increment(self.x, 1);
+                Step::Return
+            }
+            _ => unreachable!("fig1-nonatomic: bad pc {pc} in {sec}"),
+        }
+    }
+}
+
+/// Build the naive decomposition as a protocol root (negative control).
+pub fn fig1_nonatomic(b: &mut ProtocolBuilder, k: usize) -> NodeId {
+    let node = NonatomicQueueNode::new(b, k);
+    b.add(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kex_sim::prelude::*;
+    use std::sync::Arc;
+
+    fn protocol(n: usize, k: usize) -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(n);
+        let root = fig1_nonatomic(&mut b, k);
+        b.finish(root, k)
+    }
+
+    #[test]
+    fn the_model_checker_finds_the_lost_wakeup_violation() {
+        // Three processes, k = 1: the explorer must find an interleaving
+        // in which the enqueue race admits two processes at once — the
+        // paper's argument for why Figure 1 needs its atomic sections.
+        let report = explore(protocol(3, 1), &ExploreConfig::default());
+        assert!(
+            matches!(report.violation, Some((_, Violation::TooManyInCritical { .. }))),
+            "expected a k-exclusion violation from the naive decomposition, got {:?}",
+            report.violation
+        );
+    }
+
+    #[test]
+    fn the_counterexample_replays_to_the_same_violation() {
+        // Extract the offending schedule and replay it step by step:
+        // the trace must reproduce the k-exclusion violation and pass
+        // through the racy enqueue statements.
+        let proto = protocol(3, 1);
+        let report = explore(proto.clone(), &ExploreConfig::default());
+        let schedule = report
+            .first_counterexample()
+            .expect("a violation was found");
+        let trace = kex_sim::replay::replay(proto, &schedule);
+        assert!(
+            trace.ends_in_violation(),
+            "replayed schedule must reproduce the violation:\n{trace}"
+        );
+        let text = trace.to_string();
+        assert!(text.contains("fig1-nonatomic"), "trace names the node:\n{text}");
+    }
+
+    #[test]
+    fn the_atomic_version_of_the_same_instance_is_clean() {
+        // Control: identical instance, Figure 1 with its atomic sections
+        // intact, passes the same exploration.
+        let mut b = ProtocolBuilder::new(3);
+        let root = crate::sim::fig1_queue::fig1_queue(&mut b, 1);
+        let proto = b.finish(root, 1);
+        let report = explore(proto, &ExploreConfig::default());
+        report.assert_ok();
+    }
+}

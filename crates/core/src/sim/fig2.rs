@@ -1,0 +1,374 @@
+//! Figure 2: `(N, k)`-exclusion on a **cache-coherent** machine, given an
+//! `(N, k+1)`-exclusion child, using `fetch_and_increment` and a single
+//! spin word.
+//!
+//! ```text
+//! shared variable
+//!     X : -1..k   initially k     /* counter of available slots */
+//!     Q : 0..N-1                  /* spin location */
+//!
+//! process p:
+//! 0: Noncritical Section
+//! 1: Acquire(N, k+1)              /* entry section of (N,k+1)-exclusion */
+//! 2: if fetch_and_increment(X, -1) = 0 then   /* no slots available */
+//! 3:     Q := p                               /* initialize spin location */
+//! 4:     if X < 0 then                        /* still none - must wait  */
+//! 5:         while Q = p do /* null */ od     /* busy-wait until released */
+//!    Critical Section
+//! 6: fetch_and_increment(X, 1)    /* release a slot */
+//! 7: Q := p                       /* release waiting process (if any) */
+//! 8: Release(N, k+1)              /* exit section of (N,k+1)-exclusion */
+//! ```
+//!
+//! The key local-spin trick: at most one process — the one whose id is in
+//! `Q` — ever waits at statement 5 at a time, and **any** subsequent write
+//! to `Q` (by a releaser at statement 7 *or* by another arriving waiter at
+//! statement 3) terminates its loop. Under the CC cost model the spin
+//! therefore generates at most two remote references, giving the
+//! worst-case 5 entry + 2 exit = 7 remote references per stage
+//! (Theorem 1: `7(N-k)` for the full inductive chain).
+
+use kex_sim::mem::MemCtx;
+use kex_sim::node::Node;
+use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::types::{NodeId, Section, Step, VarId, Word};
+
+/// One Figure-2 stage: `(N, j)`-exclusion from an `(N, j+1)` child.
+pub struct Fig2Stage {
+    /// Slot counter `X`, initially `j`.
+    x: VarId,
+    /// Spin word `Q` holding a process id.
+    q: VarId,
+    /// The `(N, j+1)`-exclusion child; `None` for the trivial basis
+    /// (`j = N-1`), where the paper's `Acquire`/`Release` are skips.
+    child: Option<NodeId>,
+    /// Number of slots `j` (for diagnostics).
+    j: usize,
+}
+
+impl Fig2Stage {
+    /// Allocate the stage's shared variables and construct it.
+    ///
+    /// `j` is the number of critical-section slots this stage admits;
+    /// `child` must implement `(N, j+1)`-exclusion, or be `None` when
+    /// `j = N-1` (the basis, where the nested acquire is a skip).
+    pub fn new(b: &mut ProtocolBuilder, j: usize, child: Option<NodeId>) -> Self {
+        let x = b.vars.alloc(format!("fig2[{j}].X"), j as Word);
+        let q = b.vars.alloc(format!("fig2[{j}].Q"), 0);
+        Fig2Stage { x, q, child, j }
+    }
+
+    /// Statement 2: `if fetch_and_increment(X,-1) = 0 then ...`
+    fn stmt2(&self, mem: &mut MemCtx<'_>) -> Step {
+        if mem.fetch_and_increment(self.x, -1) <= 0 {
+            Step::Goto(2)
+        } else {
+            Step::Return // slot obtained: critical section
+        }
+    }
+}
+
+impl Node for Fig2Stage {
+    fn name(&self) -> String {
+        format!("fig2(j={})", self.j)
+    }
+
+    fn step(&self, sec: Section, pc: u32, _locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step {
+        let p = mem.pid() as Word;
+        match (sec, pc) {
+            // ---- entry section ----
+            // statement 1: Acquire(N, j+1) — a skip at the basis, in
+            // which case statement 2 runs immediately.
+            (Section::Entry, 0) => match self.child {
+                Some(child) => Step::Call {
+                    child,
+                    section: Section::Entry,
+                    ret: 1,
+                },
+                None => self.stmt2(mem),
+            },
+            // statement 2: if fetch_and_increment(X,-1) = 0 then ...
+            (Section::Entry, 1) => self.stmt2(mem),
+            // statement 3: Q := p
+            (Section::Entry, 2) => {
+                mem.write(self.q, p);
+                Step::Goto(3)
+            }
+            // statement 4: if X < 0 then ...
+            (Section::Entry, 3) => {
+                if mem.read(self.x) < 0 {
+                    Step::Goto(4)
+                } else {
+                    Step::Return
+                }
+            }
+            // statement 5: while Q = p do od
+            (Section::Entry, 4) => {
+                if mem.read(self.q) == p {
+                    Step::Goto(4)
+                } else {
+                    Step::Return
+                }
+            }
+            // ---- exit section ----
+            // statement 6: fetch_and_increment(X, 1)
+            (Section::Exit, 0) => {
+                mem.fetch_and_increment(self.x, 1);
+                Step::Goto(1)
+            }
+            // statement 7: Q := p (any write to Q releases the waiter)
+            (Section::Exit, 1) => {
+                mem.write(self.q, p);
+                match self.child {
+                    // statement 8: Release(N, j+1) — skip at the basis.
+                    Some(child) => Step::Call {
+                        child,
+                        section: Section::Exit,
+                        ret: 2,
+                    },
+                    None => Step::Return,
+                }
+            }
+            (Section::Exit, 2) => Step::Return,
+            _ => unreachable!("fig2 stage: bad pc {pc} in {sec}"),
+        }
+    }
+}
+
+/// Build the Theorem-1 inductive chain: `(m, k)`-exclusion for a
+/// population of `m` processes, as Figure-2 stages `j = m-1, m-2, .., k`
+/// with the trivial skip basis at `j = m-1`'s child.
+///
+/// Worst-case remote references per entry+exit pair: `7(m - k)` on a
+/// cache-coherent machine (Theorem 1).
+///
+/// # Panics
+/// Panics unless `1 <= k < m`.
+pub fn fig2_chain(b: &mut ProtocolBuilder, m: usize, k: usize) -> NodeId {
+    assert!(k >= 1 && k < m, "fig2 chain requires 1 <= k < m");
+    let mut child: Option<NodeId> = None;
+    for j in (k..m).rev() {
+        let stage = Fig2Stage::new(b, j, child);
+        child = Some(b.add(stage));
+    }
+    child.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kex_sim::prelude::*;
+    use std::sync::Arc;
+
+    fn chain_protocol(n: usize, k: usize) -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(n);
+        let root = fig2_chain(&mut b, n, k);
+        b.finish(root, k)
+    }
+
+    #[test]
+    fn two_one_exclusion_is_safe_and_live_under_round_robin() {
+        let mut sim = Sim::new(chain_protocol(2, 1), MemoryModel::CacheCoherent)
+            .cycles(50)
+            .build();
+        let report = sim.run(1_000_000);
+        report.assert_safe();
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(report.completed, vec![50, 50]);
+    }
+
+    #[test]
+    fn chain_is_safe_under_many_random_schedules() {
+        for seed in 0..20 {
+            let mut sim = Sim::new(chain_protocol(5, 2), MemoryModel::CacheCoherent)
+                .cycles(20)
+                .scheduler(RandomSched::new(seed))
+                .timing(Timing {
+                    ncs_steps: 1,
+                    cs_steps: 2,
+                })
+                .build();
+            let report = sim.run(5_000_000);
+            report.assert_safe();
+            assert_eq!(report.stop, StopReason::Quiescent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn worst_case_pair_cost_is_within_theorem_1_bound() {
+        // Theorem 1: 7(N-k) remote references per entry+exit pair on CC.
+        for (n, k) in [(3, 1), (4, 2), (5, 2), (6, 3)] {
+            let mut worst = 0;
+            for seed in 0..10 {
+                let mut sim = Sim::new(chain_protocol(n, k), MemoryModel::CacheCoherent)
+                    .cycles(30)
+                    .scheduler(RandomSched::new(seed))
+                    .build();
+                let report = sim.run(10_000_000);
+                report.assert_safe();
+                worst = worst.max(report.stats.worst_pair());
+            }
+            let bound = 7 * (n as u64 - k as u64);
+            assert!(
+                worst <= bound,
+                "(n={n},k={k}): measured {worst} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_small_instances() {
+        // Every interleaving of (3,1), (3,2) and (4,2): k-exclusion holds.
+        for (n, k) in [(3, 1), (3, 2), (4, 2)] {
+            let report = explore(chain_protocol(n, k), &ExploreConfig::default());
+            report.assert_ok();
+            assert!(report.states > 10);
+        }
+    }
+
+    #[test]
+    fn exhaustive_starvation_freedom_without_failures() {
+        let report = explore(chain_protocol(3, 1), &ExploreConfig::default());
+        report.assert_ok();
+        check_starvation_freedom(&report).expect("fig2 chain must be starvation-free");
+    }
+
+    #[test]
+    fn exhaustive_with_adversarial_crashes_up_to_k_minus_1() {
+        // (3,2): one crash anywhere outside the NCS must not block the
+        // two survivors.
+        let cfg = ExploreConfig {
+            max_failures: 1,
+            ..ExploreConfig::default()
+        };
+        let report = explore(chain_protocol(3, 2), &cfg);
+        report.assert_ok();
+        check_starvation_freedom(&report)
+            .expect("fig2 (3,2)-exclusion must tolerate one crash failure");
+    }
+
+    #[test]
+    fn paper_invariant_i2_x_counts_inside_processes() {
+        // (I2): X = k - |{p : p@{3..6}}| for the single-stage (2,1)
+        // instance. In our encoding, a process is "inside" the stage
+        // (statements 3..6) from completing statement 2's decrement until
+        // completing statement 6's increment. We verify the weaker but
+        // state-checkable consequence used by the proof:
+        // X >= -1 and X <= k always (the declared range of X).
+        let protocol = chain_protocol(3, 2);
+        let x_var = protocol.vars().find("fig2[2].X").expect("stage variable");
+        let x_bound = 2 as Word;
+        let report = explore_with(protocol, &ExploreConfig::default(), move |w| {
+            let x = w.mem.peek(x_var);
+            if x < -1 || x > x_bound {
+                Err(format!("X = {x} outside -1..{x_bound}"))
+            } else {
+                Ok(())
+            }
+        });
+        report.assert_ok();
+    }
+
+    #[test]
+    fn paper_invariants_i2_and_i3_hold_exactly() {
+        // For a single-stage instance we can state the proof's invariants
+        // verbatim. A process is "inside" the stage (paper statements
+        // 3..6) from the moment its statement-2 fetch-and-increment
+        // executed until its statement-6 increment executes. In our
+        // program-counter encoding for the childless stage:
+        //   entry pc in {2,3,4}  -> at statements 3, 4, 5
+        //   Critical             -> in the critical section
+        //   exit pc == 0         -> statement 6 not yet executed
+        //
+        // (I2): X = k - |inside|
+        // (I3): X < 0  =>  exists p: p@3 \/ (p@{4,5} /\ Q = p)
+        let protocol = chain_protocol(3, 2);
+        let x_var = protocol.vars().find("fig2[2].X").expect("X");
+        let q_var = protocol.vars().find("fig2[2].Q").expect("Q");
+        let k = 2 as Word;
+        let report = explore_with(protocol, &ExploreConfig::default(), move |w| {
+            let x = w.mem.peek(x_var);
+            let q = w.mem.peek(q_var);
+            let mut inside = 0;
+            let mut i3_witness = false;
+            for p in &w.procs {
+                let top = p.stack.last();
+                let (entry_pc, exit_pc) = match (p.phase, top) {
+                    (Phase::Entry, Some(f)) => (Some(f.pc), None),
+                    (Phase::Exit, Some(f)) => (None, Some(f.pc)),
+                    _ => (None, None),
+                };
+                let is_inside = matches!(entry_pc, Some(2..=4))
+                    || p.phase.in_critical()
+                    || exit_pc == Some(0);
+                if is_inside {
+                    inside += 1;
+                }
+                // p@3 == about to execute statement 3 (our entry pc 2);
+                // p@{4,5} == our entry pcs 3 and 4.
+                if entry_pc == Some(2)
+                    || (matches!(entry_pc, Some(3) | Some(4)) && q == p.pid as Word)
+                {
+                    i3_witness = true;
+                }
+            }
+            if x != k - inside {
+                return Err(format!("(I2) violated: X = {x}, inside = {inside}"));
+            }
+            if x < 0 && !i3_witness {
+                return Err(format!("(I3) violated: X = {x} with no witness"));
+            }
+            Ok(())
+        });
+        report.assert_ok();
+    }
+
+    #[test]
+    fn unless_property_u1_holds_along_every_transition() {
+        // (U1): p@5 /\ Q != p  unless  p@6 — once a waiter at statement 5
+        // observes Q != p, it can only move to the critical section (our
+        // encoding: entry pc 4 with Q != p persists or the process leaves
+        // the entry section). We check it as a transition property by
+        // exploring and verifying the *state* form: a process at pc 4
+        // whose Q != p can always step out; equivalently, no reachable
+        // state shows a process at pc 4 with Q != p that has taken a step
+        // back to pc 4 with Q = p. Since Q = p is only written by p
+        // itself at statement 3, it suffices to check that a process at
+        // pc 4 never has a pending self-write (its pc would have to pass
+        // through 2 again first). State form: trivially true here; the
+        // meaningful mechanized check is starvation-freedom, asserted in
+        // `exhaustive_starvation_freedom_without_failures`. This test
+        // pins the weaker state invariant that pc 4 implies the process
+        // previously wrote Q (Q was p at some point), i.e. Q is a valid
+        // pid.
+        let protocol = chain_protocol(3, 2);
+        let q_var = protocol.vars().find("fig2[2].Q").expect("Q");
+        let report = explore_with(protocol, &ExploreConfig::default(), move |w| {
+            let q = w.mem.peek(q_var);
+            if (0..w.procs.len() as Word).contains(&q) {
+                Ok(())
+            } else {
+                Err(format!("Q = {q} is not a pid"))
+            }
+        });
+        report.assert_ok();
+    }
+
+    #[test]
+    fn crash_of_k_processes_can_block_survivors() {
+        // Negative control: with k = 1 even a single crash inside the CS
+        // blocks everyone else — the algorithm promises only (k-1)
+        // resilience. The liveness checker must detect the starvation.
+        let cfg = ExploreConfig {
+            max_failures: 1,
+            ..ExploreConfig::default()
+        };
+        let report = explore(chain_protocol(3, 1), &cfg);
+        report.assert_ok(); // safety still holds
+        let starving = kex_sim::liveness::check_starvation_freedom(&report);
+        assert!(
+            starving.is_err(),
+            "a crash inside the only CS slot must starve the others"
+        );
+    }
+}

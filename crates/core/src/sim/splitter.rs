@@ -1,0 +1,404 @@
+//! Long-lived renaming from **reads and writes only**: the splitter grid
+//! of the paper's companion reference \[13\] (Moir & Anderson, *Fast,
+//! Long-Lived Renaming*, WDAG '94).
+//!
+//! Figure 7's renaming needs `test_and_set`. \[13\] shows that, once
+//! k-exclusion bounds concurrency at `k`, names can be acquired with
+//! plain reads/writes by racing through a triangular grid of
+//! *splitters*. Each splitter is Lamport's fast-path gadget:
+//!
+//! ```text
+//! X : pid        Y : boolean (initially false)
+//!
+//! enter(p):  X := p
+//!            if Y then go RIGHT
+//!            Y := true
+//!            if X = p then STOP else go DOWN
+//! ```
+//!
+//! Among the processes that enter a splitter concurrently, at most one
+//! STOPs, not all go RIGHT, and not all go DOWN. Starting at cell
+//! `(0,0)` of the triangular grid `{(r,c) : r+c <= k-1}`, every RIGHT or
+//! DOWN move is "charged" to a distinct rival, so when at most `k`
+//! processes **ever** use the grid, each must STOP within `k-1` moves —
+//! inside the grid — and its name is its cell index, a name space of
+//! `k(k+1)/2`.
+//!
+//! ## Two negative results, found by the model checker
+//!
+//! The charging argument is fragile, and our exhaustive checker maps its
+//! exact boundary — mechanizing the reasons Figure 7 reaches for
+//! test-and-set and \[13\] is a separate contribution:
+//!
+//! 1. **One-shot, but more than `k` total participants** (the situation
+//!    inside a `(N, k)`-exclusion wrapper, where concurrency is at most
+//!    `k` but all `N` processes eventually pass through): *broken*. A
+//!    departed process's poisoned `Y` plus a fresh arrival can push a
+//!    slow process off the grid. `one_shot_beyond_k_total_is_broken`
+//!    extracts a replayable counterexample with `N = 3, k = 2`.
+//! 2. **Long-lived reuse with naive reset** (stopper resets its own `Y`
+//!    on release): *broken* even for `k` total processes — DOWN-movers
+//!    never reset the `Y` they set, poisoning the grid over time.
+//!    `naive_long_lived_reuse_is_broken` finds it automatically.
+//!
+//! What *is* correct — and verified exhaustively here — is the classic
+//! setting: at most `k` processes total, one acquisition each
+//! ([`splitter_grid_standalone`]). That is M&A's one-shot fast renaming;
+//! making it long-lived (and wrapper-compatible) with reads and writes
+//! only is exactly \[13\]'s further contribution, which this repository
+//! leaves to Figure 7's test-and-set algorithm
+//! ([`crate::sim::assignment`]).
+//!
+//! When a process is forced off the grid it takes the out-of-range
+//! sentinel name `k(k+1)/2`, which the safety checker reports as a
+//! [`kex_sim::checker::Violation::NameOutOfRange`] — the failure mode is
+//! a first-class, explorable violation rather than a panic.
+
+use kex_sim::mem::MemCtx;
+use kex_sim::node::Node;
+use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::vars::at;
+use kex_sim::types::{NodeId, Section, Step, VarId, Word};
+
+/// Local-variable layout.
+const L_NAME: usize = 0;
+const L_HOLDING: usize = 1;
+const L_ROW: usize = 2;
+const L_COL: usize = 3;
+
+/// Number of cells in the triangular grid for `k`.
+pub fn grid_cells(k: usize) -> usize {
+    k * (k + 1) / 2
+}
+
+/// Row-major index of cell `(r, c)` in the triangular grid for `k`.
+fn cell_index(k: usize, r: Word, c: Word) -> usize {
+    let r = r as usize;
+    let c = c as usize;
+    debug_assert!(r + c < k, "cell ({r},{c}) outside the grid for k={k}");
+    // Row r starts after rows 0..r, which hold k, k-1, .., k-r+1 cells.
+    r * k - r * r.saturating_sub(1) / 2 + c
+}
+
+/// The splitter-grid renaming node: optionally behind an
+/// `(N, k)`-exclusion child, over `k(k+1)/2` names.
+pub struct SplitterGridNode {
+    /// `None` = standalone grid (the classic at-most-`k`-total setting).
+    kex: Option<NodeId>,
+    /// `X` of every cell (row-major triangular layout).
+    x_base: VarId,
+    /// `Y` of every cell.
+    y_base: VarId,
+    k: usize,
+}
+
+impl SplitterGridNode {
+    /// Allocate the grid, optionally over an `(N, k)`-exclusion child.
+    pub fn new(b: &mut ProtocolBuilder, k: usize, kex: Option<NodeId>) -> Self {
+        let cells = grid_cells(k);
+        let x_base = b.vars.alloc_array("grid.X", cells, -1);
+        let y_base = b.vars.alloc_array("grid.Y", cells, 0);
+        SplitterGridNode {
+            kex,
+            x_base,
+            y_base,
+            k,
+        }
+    }
+
+    #[inline]
+    fn cell(&self, locals: &[Word]) -> usize {
+        cell_index(self.k, locals[L_ROW], locals[L_COL])
+    }
+}
+
+impl Node for SplitterGridNode {
+    fn name(&self) -> String {
+        format!("splitter-grid(k={})", self.k)
+    }
+
+    fn locals_len(&self) -> usize {
+        4
+    }
+
+    fn acquired_name(&self, locals: &[Word]) -> Option<Word> {
+        if locals[L_HOLDING] != 0 {
+            Some(locals[L_NAME])
+        } else {
+            None
+        }
+    }
+
+    fn name_space(&self, k: usize) -> usize {
+        grid_cells(k)
+    }
+
+    fn step(&self, sec: Section, pc: u32, locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step {
+        let p = mem.pid() as Word;
+        let k = self.k as Word;
+        match (sec, pc) {
+            // Acquire the k-exclusion first (if any): at most k inside
+            // the grid concurrently.
+            (Section::Entry, 0) => match self.kex {
+                Some(kex) => Step::Call {
+                    child: kex,
+                    section: Section::Entry,
+                    ret: 1,
+                },
+                None => {
+                    locals[L_ROW] = 0;
+                    locals[L_COL] = 0;
+                    Step::Goto(2)
+                }
+            },
+            // Start at cell (0,0) (private).
+            (Section::Entry, 1) => {
+                locals[L_ROW] = 0;
+                locals[L_COL] = 0;
+                Step::Goto(2)
+            }
+            // Splitter step 1: X := p
+            (Section::Entry, 2) => {
+                mem.write(at(self.x_base, self.cell(locals)), p);
+                Step::Goto(3)
+            }
+            // Splitter step 2: if Y then RIGHT
+            (Section::Entry, 3) => {
+                if mem.read(at(self.y_base, self.cell(locals))) != 0 {
+                    locals[L_COL] += 1;
+                    if locals[L_ROW] + locals[L_COL] >= k {
+                        // Pushed off the grid: take the out-of-range
+                        // sentinel so the checker reports it.
+                        locals[L_NAME] = grid_cells(self.k) as Word;
+                        locals[L_HOLDING] = 1;
+                        return Step::Return;
+                    }
+                    Step::Goto(2)
+                } else {
+                    Step::Goto(4)
+                }
+            }
+            // Splitter step 3: Y := true
+            (Section::Entry, 4) => {
+                mem.write(at(self.y_base, self.cell(locals)), 1);
+                Step::Goto(5)
+            }
+            // Splitter step 4: if X = p then STOP else DOWN
+            (Section::Entry, 5) => {
+                if mem.read(at(self.x_base, self.cell(locals))) == p {
+                    locals[L_NAME] = cell_index(self.k, locals[L_ROW], locals[L_COL]) as Word;
+                    locals[L_HOLDING] = 1;
+                    Step::Return
+                } else {
+                    locals[L_ROW] += 1;
+                    if locals[L_ROW] + locals[L_COL] >= k {
+                        locals[L_NAME] = grid_cells(self.k) as Word;
+                        locals[L_HOLDING] = 1;
+                        return Step::Return;
+                    }
+                    Step::Goto(2)
+                }
+            }
+
+            // Release: reset the won splitter's Y, then leave the kex.
+            (Section::Exit, 0) => {
+                if (locals[L_NAME] as usize) < grid_cells(self.k) {
+                    mem.write(at(self.y_base, locals[L_NAME] as usize), 0);
+                }
+                locals[L_HOLDING] = 0;
+                locals[L_NAME] = 0;
+                locals[L_ROW] = 0;
+                locals[L_COL] = 0;
+                match self.kex {
+                    Some(_) => Step::Goto(1),
+                    None => Step::Return,
+                }
+            }
+            (Section::Exit, 1) => Step::Call {
+                child: self.kex.expect("pc 1 only reached with a kex child"),
+                section: Section::Exit,
+                ret: 2,
+            },
+            (Section::Exit, 2) => Step::Return,
+            _ => unreachable!("splitter-grid: bad pc {pc} in {sec}"),
+        }
+    }
+}
+
+/// Wrap an `(N, k)`-exclusion node with splitter-grid renaming.
+///
+/// Note the negative results in the module docs: this composition is
+/// only correct when at most `k` *distinct* processes ever enter, which
+/// the wrapper does not enforce — it exists to let the model checker
+/// demonstrate that boundary.
+pub fn splitter_assignment(b: &mut ProtocolBuilder, k: usize, kex: NodeId) -> NodeId {
+    let node = SplitterGridNode::new(b, k, Some(kex));
+    b.add(node)
+}
+
+/// The classic standalone one-shot grid for at most `k` total
+/// participants (restrict the simulation's participants accordingly).
+pub fn splitter_grid_standalone(b: &mut ProtocolBuilder, k: usize) -> NodeId {
+    let node = SplitterGridNode::new(b, k, None);
+    b.add(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::fig2::fig2_chain;
+    use kex_sim::prelude::*;
+    use std::sync::Arc;
+
+    fn protocol(n: usize, k: usize) -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(n);
+        let kex = fig2_chain(&mut b, n, k);
+        let root = splitter_assignment(&mut b, k, kex);
+        b.finish(root, k)
+    }
+
+    fn standalone(n: usize, k: usize) -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(n);
+        let root = splitter_grid_standalone(&mut b, k);
+        b.finish(root, k)
+    }
+
+    #[test]
+    fn grid_index_is_a_triangular_bijection() {
+        let k = 4;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..k {
+            for c in 0..(k - r) {
+                let idx = cell_index(k, r as Word, c as Word);
+                assert!(idx < grid_cells(k));
+                assert!(seen.insert(idx), "duplicate index for ({r},{c})");
+            }
+        }
+        assert_eq!(seen.len(), grid_cells(k));
+    }
+
+    #[test]
+    fn exhaustive_classic_setting_is_correct() {
+        // The setting the one-shot charging argument actually covers: at
+        // most k processes total, one acquisition each. Exhaustive over
+        // every interleaving for k = 2 and k = 3 (the explorer's `k < n`
+        // protocols restrict participation to exactly k processes).
+        for k in [2usize, 3] {
+            let cfg = ExploreConfig {
+                cycles: Some(1),
+                participants: Some((0..k).collect()),
+                ..ExploreConfig::default()
+            };
+            let report = explore(standalone(k + 1, k), &cfg);
+            report.assert_ok();
+            assert!(report.states > 10);
+        }
+    }
+
+    #[test]
+    fn exhaustive_classic_setting_with_one_crash() {
+        let cfg = ExploreConfig {
+            cycles: Some(1),
+            participants: Some(vec![0, 1]),
+            max_failures: 1,
+            ..ExploreConfig::default()
+        };
+        let report = explore(standalone(3, 2), &cfg);
+        report.assert_ok();
+    }
+
+    #[test]
+    fn one_shot_beyond_k_total_is_broken() {
+        // NEGATIVE RESULT 1: one acquisition per process, concurrency
+        // bounded at k = 2 by the kex wrapper, but three processes pass
+        // through in total. A departed process's poisoned Y plus a fresh
+        // arrival pushes a slow process off the grid. The explorer finds
+        // it and the counterexample replays.
+        let proto = protocol(3, 2);
+        let cfg = ExploreConfig {
+            cycles: Some(1),
+            ..ExploreConfig::default()
+        };
+        let report = explore(proto.clone(), &cfg);
+        let (state, violation) = report
+            .violation
+            .clone()
+            .expect("the grid must break beyond k total participants");
+        assert!(
+            matches!(violation, Violation::NameOutOfRange { .. }),
+            "expected an off-grid name, got {violation:?}"
+        );
+        let schedule = report.counterexample(state);
+        let trace = kex_sim::replay::replay_with(
+            proto,
+            &schedule,
+            Timing::default(),
+            Some(1),
+            None,
+        );
+        assert!(trace.ends_in_violation(), "{trace}");
+    }
+
+    #[test]
+    fn naive_long_lived_reuse_is_broken() {
+        // NEGATIVE RESULT 2: repeated acquisitions by only k = 2 total
+        // processes, naive "stopper resets Y" discipline. DOWN-movers
+        // never reset the Y they set, so the grid poisons over time and
+        // someone is pushed off. The explorer finds it.
+        let cfg = ExploreConfig {
+            participants: Some(vec![0, 1]),
+            ..ExploreConfig::default()
+        };
+        let report = explore(standalone(3, 2), &cfg);
+        let (_, violation) = report
+            .violation
+            .clone()
+            .expect("naive long-lived splitter reuse should break; did someone fix it?");
+        assert!(
+            matches!(violation, Violation::NameOutOfRange { .. }),
+            "expected an off-grid name, got {violation:?}"
+        );
+    }
+
+    #[test]
+    fn classic_random_schedules_are_clean() {
+        // k = 4 total participants, one shot each, many schedules.
+        for seed in 0..15 {
+            let mut sim = Sim::new(standalone(6, 4), MemoryModel::CacheCoherent)
+                .cycles(1)
+                .participants(0..4)
+                .scheduler(RandomSched::new(seed))
+                .timing(Timing {
+                    ncs_steps: 1,
+                    cs_steps: 3,
+                })
+                .build();
+            let report = sim.run(10_000_000);
+            report.assert_safe();
+            assert_eq!(report.stop, StopReason::Quiescent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn one_shot_renaming_cost_is_linear_in_k() {
+        // [13]'s headline: Theta(k) time — the grid walk is at most k-1
+        // moves of ~3 accesses each.
+        for k in [2usize, 4, 8] {
+            let mut worst = 0;
+            for seed in 0..10 {
+                let mut sim = Sim::new(standalone(k + 1, k), MemoryModel::CacheCoherent)
+                    .cycles(1)
+                    .participants(0..k)
+                    .scheduler(RandomSched::new(seed))
+                    .build();
+                let r = sim.run(10_000_000);
+                r.assert_safe();
+                worst = worst.max(r.stats.worst_pair());
+            }
+            assert!(
+                worst <= 4 * k as u64 + 2,
+                "grid acquisition cost {worst} exceeds O(k) at k={k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Exhaustive state-space exploration (model checking) for small
+//! instances.
+//!
+//! The paper proves its algorithms correct with invariants (I1)–(I10) and
+//! unless-properties (U1)/(U2), deferring full proofs to the full paper.
+//! We re-establish those claims mechanically: for small `(N, k)` the
+//! explorer enumerates **every** reachable state under **every**
+//! interleaving (and, optionally, every placement of up to `f`
+//! adversarial crash failures), checking the k-exclusion / k-assignment
+//! safety properties in each state. The resulting labeled transition
+//! graph feeds the starvation-freedom analysis in [`crate::liveness`] and
+//! can also be probed with arbitrary user invariants via
+//! [`explore_with`].
+//!
+//! State explosion is managed by (a) excluding performance-only state
+//! (cache holder sets, RMR counters) from the state encoding and (b) the
+//! `max_states` budget, which marks the report *truncated* rather than
+//! running away.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::checker::{check_safety, Violation};
+use crate::memmodel::MemoryModel;
+use crate::protocol::Protocol;
+use crate::world::{Timing, World};
+use crate::types::{Pid, Word};
+
+/// A transition label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Process `Pid` executed one atomic step.
+    Step(Pid),
+    /// The adversary crashed process `Pid` (a non-step transition; crash
+    /// transitions are irreversible and therefore never lie on cycles).
+    Crash(Pid),
+}
+
+/// Per-state process flags, stored as bitmasks (`N <= 64`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StateFlags {
+    /// Processes that are neither failed nor done (must be treated fairly).
+    pub live: u64,
+    /// Processes inside their critical sections.
+    pub critical: u64,
+    /// Processes in their entry or exit sections.
+    pub engaged: u64,
+}
+
+impl StateFlags {
+    fn of(world: &World) -> Self {
+        let mut f = StateFlags::default();
+        for p in &world.procs {
+            let bit = 1u64 << p.pid;
+            if p.runnable() {
+                f.live |= bit;
+            }
+            if p.phase.in_critical() {
+                f.critical |= bit;
+            }
+            if matches!(
+                p.phase,
+                crate::process::Phase::Entry | crate::process::Phase::Exit
+            ) {
+                f.engaged |= bit;
+            }
+        }
+        f
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Memory model (behaviorally irrelevant; affects nothing but
+    /// diagnostics).
+    pub model: MemoryModel,
+    /// Section dwell times (keep at zero for tractable state spaces).
+    pub timing: Timing,
+    /// Cycles per process; `None` = cycle forever.
+    ///
+    /// Use `None` for liveness analysis. Algorithms with genuinely
+    /// unbounded state (Figure 5's ever-fresh spin locations) require
+    /// `Some(c)` to keep the space finite.
+    pub cycles: Option<u64>,
+    /// Up to this many adversarial crash failures may be injected, each at
+    /// any moment at which the victim is outside its noncritical section
+    /// (the paper's definition of a faulty process).
+    pub max_failures: usize,
+    /// Abort (with `truncated = true`) after this many states.
+    pub max_states: usize,
+    /// Restrict participation to these pids (`None` = all).
+    pub participants: Option<Vec<Pid>>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            model: MemoryModel::CacheCoherent,
+            timing: Timing::default(),
+            cycles: None,
+            max_failures: 0,
+            max_states: 2_000_000,
+            participants: None,
+        }
+    }
+}
+
+/// The explored transition system.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Number of distinct reachable states.
+    pub states: usize,
+    /// Number of transitions.
+    pub transitions: usize,
+    /// Whether exploration hit the `max_states` budget.
+    pub truncated: bool,
+    /// First safety violation discovered, with the id of the state in
+    /// which it holds.
+    pub violation: Option<(u32, Violation)>,
+    /// First user-invariant failure (from [`explore_with`]).
+    pub invariant_failure: Option<(u32, String)>,
+    /// Adjacency: `edges[s]` lists `(label, successor)`.
+    pub edges: Vec<Vec<(Label, u32)>>,
+    /// Per-state process flags.
+    pub flags: Vec<StateFlags>,
+    /// Discovery parent of each state: `(predecessor, label)`; the
+    /// initial state's entry is `(0, Label::Step(0))` and unused.
+    pub(crate) parents: Vec<(u32, Label)>,
+}
+
+impl ExploreReport {
+    /// Panic with a readable message on any safety or invariant failure,
+    /// or on truncation (a truncated exploration proves nothing).
+    pub fn assert_ok(&self) {
+        assert!(!self.truncated, "exploration truncated at {} states", self.states);
+        if let Some((s, v)) = &self.violation {
+            panic!("safety violation in state {s}: {v}");
+        }
+        if let Some((s, msg)) = &self.invariant_failure {
+            panic!("invariant failure in state {s}: {msg}");
+        }
+    }
+
+    /// `true` iff exploration completed with no violation of any kind.
+    pub fn is_clean(&self) -> bool {
+        !self.truncated && self.violation.is_none() && self.invariant_failure.is_none()
+    }
+
+    /// The schedule (sequence of step/crash transitions) that leads from
+    /// the initial state to `state` — a replayable counterexample when
+    /// `state` is a violation state. See [`crate::replay`].
+    pub fn counterexample(&self, state: u32) -> Vec<Label> {
+        let mut path = Vec::new();
+        let mut cur = state;
+        while cur != 0 {
+            let (prev, label) = self.parents[cur as usize];
+            path.push(label);
+            cur = prev;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Convenience: the counterexample to the first violation or
+    /// invariant failure, if any.
+    pub fn first_counterexample(&self) -> Option<Vec<Label>> {
+        let state = self
+            .violation
+            .as_ref()
+            .map(|(s, _)| *s)
+            .or(self.invariant_failure.as_ref().map(|(s, _)| *s))?;
+        Some(self.counterexample(state))
+    }
+}
+
+/// Explore all reachable states, checking only the built-in safety
+/// properties (k-exclusion, name uniqueness).
+///
+/// ```rust
+/// use kex_sim::prelude::*;
+///
+/// // A skip-root protocol with two participants and k = 2 is safe;
+/// // exploration proves it over every interleaving.
+/// let mut b = ProtocolBuilder::new(3);
+/// let root = b.add(SkipNode);
+/// let protocol = b.finish(root, 2);
+/// let cfg = ExploreConfig {
+///     participants: Some(vec![0, 1]),
+///     ..ExploreConfig::default()
+/// };
+/// let report = explore(protocol, &cfg);
+/// report.assert_ok();
+/// check_starvation_freedom(&report).unwrap();
+/// ```
+pub fn explore(protocol: Arc<Protocol>, cfg: &ExploreConfig) -> ExploreReport {
+    explore_with(protocol, cfg, |_| Ok(()))
+}
+
+/// Explore all reachable states, additionally checking `invariant` in
+/// every state. Return `Err(message)` from the closure to report an
+/// invariant failure.
+///
+/// Exploration stops at the first safety or invariant failure (the
+/// partial graph is still returned for debugging).
+pub fn explore_with(
+    protocol: Arc<Protocol>,
+    cfg: &ExploreConfig,
+    invariant: impl Fn(&World) -> Result<(), String>,
+) -> ExploreReport {
+    let mut initial = World::new(
+        protocol.clone(),
+        cfg.model,
+        cfg.timing,
+        cfg.cycles,
+    );
+    if let Some(parts) = &cfg.participants {
+        initial.restrict_participants(parts);
+    }
+
+    // States are stored once: the interning map and the by-id list share
+    // one `Rc<[Word]>` per state (explorations reach millions of states,
+    // so the duplication would double the dominant memory cost).
+    let mut index: HashMap<Rc<[Word]>, u32> = HashMap::new();
+    let mut encoded: Vec<Rc<[Word]>> = Vec::new();
+    let mut edges: Vec<Vec<(Label, u32)>> = Vec::new();
+    let mut flags: Vec<StateFlags> = Vec::new();
+    let mut parents: Vec<(u32, Label)> = Vec::new();
+    let mut transitions = 0usize;
+    let mut truncated = false;
+    let mut violation = None;
+    let mut invariant_failure = None;
+
+    let intern = |w: &World,
+                      index: &mut HashMap<Rc<[Word]>, u32>,
+                      encoded: &mut Vec<Rc<[Word]>>,
+                      edges: &mut Vec<Vec<(Label, u32)>>,
+                      flags: &mut Vec<StateFlags>|
+     -> (u32, bool) {
+        let enc: Rc<[Word]> = w.encode().into();
+        if let Some(&id) = index.get(&enc) {
+            (id, false)
+        } else {
+            let id = encoded.len() as u32;
+            index.insert(Rc::clone(&enc), id);
+            encoded.push(enc);
+            edges.push(Vec::new());
+            flags.push(StateFlags::of(w));
+            (id, true)
+        }
+    };
+    // Discovery parents, for counterexample reconstruction.
+
+    let (root, _) = intern(&initial, &mut index, &mut encoded, &mut edges, &mut flags);
+    debug_assert_eq!(root, 0);
+    parents.push((0, Label::Step(0))); // sentinel for the initial state
+    if let Err(v) = check_safety(&initial) {
+        violation = Some((0, v));
+    }
+    if violation.is_none() {
+        if let Err(msg) = invariant(&initial) {
+            invariant_failure = Some((0, msg));
+        }
+    }
+
+    // Breadth-first, so discovery parents give (near-)shortest
+    // counterexamples.
+    let mut frontier: std::collections::VecDeque<u32> = std::collections::VecDeque::from([0]);
+    'outer: while let Some(id) = frontier.pop_front() {
+        if violation.is_some() || invariant_failure.is_some() {
+            break;
+        }
+        let w = World::decode(protocol.clone(), cfg.model, cfg.timing, &encoded[id as usize]);
+        let failed_count = w.procs.iter().filter(|p| p.failed).count();
+
+        // Process-step transitions.
+        for p in w.runnable() {
+            let mut w2 = w.clone();
+            w2.step(p);
+            let (tid, fresh) = intern(&w2, &mut index, &mut encoded, &mut edges, &mut flags);
+            edges[id as usize].push((Label::Step(p), tid));
+            transitions += 1;
+            if fresh {
+                parents.push((id, Label::Step(p)));
+                if let Err(v) = check_safety(&w2) {
+                    violation = Some((tid, v));
+                    break 'outer;
+                }
+                if let Err(msg) = invariant(&w2) {
+                    invariant_failure = Some((tid, msg));
+                    break 'outer;
+                }
+                if encoded.len() >= cfg.max_states {
+                    truncated = true;
+                    break 'outer;
+                }
+                frontier.push_back(tid);
+            }
+        }
+
+        // Adversarial crash transitions: any contending, non-failed
+        // process may stop forever (the paper's fault model).
+        if failed_count < cfg.max_failures {
+            for p in 0..w.procs.len() {
+                let proc = &w.procs[p];
+                if !proc.failed && proc.phase.is_contending() {
+                    let mut w2 = w.clone();
+                    w2.fail(p);
+                    let (tid, fresh) =
+                        intern(&w2, &mut index, &mut encoded, &mut edges, &mut flags);
+                    edges[id as usize].push((Label::Crash(p), tid));
+                    transitions += 1;
+                    if fresh {
+                        parents.push((id, Label::Crash(p)));
+                        if encoded.len() >= cfg.max_states {
+                            truncated = true;
+                            break 'outer;
+                        }
+                        frontier.push_back(tid);
+                    }
+                }
+            }
+        }
+    }
+
+    ExploreReport {
+        states: encoded.len(),
+        transitions,
+        truncated,
+        violation,
+        invariant_failure,
+        edges,
+        flags,
+        parents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SkipNode;
+    use crate::protocol::ProtocolBuilder;
+
+    fn skip_protocol(n: usize, k: usize) -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(n);
+        let root = b.add(SkipNode);
+        b.finish(root, k)
+    }
+
+    #[test]
+    fn finds_safety_violation_in_non_excluding_protocol() {
+        let report = explore(skip_protocol(3, 1), &ExploreConfig::default());
+        assert!(matches!(
+            report.violation,
+            Some((_, Violation::TooManyInCritical { .. }))
+        ));
+    }
+
+    #[test]
+    fn clean_when_k_equals_contenders() {
+        // Three processes, k = 2 of which participate: skip is "safe".
+        let cfg = ExploreConfig {
+            participants: Some(vec![0, 1]),
+            ..ExploreConfig::default()
+        };
+        let report = explore(skip_protocol(3, 2), &cfg);
+        report.assert_ok();
+        assert!(report.states > 1);
+        assert!(report.transitions >= report.states - 1);
+    }
+
+    #[test]
+    fn user_invariants_are_checked_everywhere() {
+        let cfg = ExploreConfig {
+            participants: Some(vec![0]),
+            ..ExploreConfig::default()
+        };
+        let report = explore_with(skip_protocol(3, 2), &cfg, |w| {
+            if w.critical_count() <= 1 {
+                Ok(())
+            } else {
+                Err("impossible".into())
+            }
+        });
+        report.assert_ok();
+
+        let report = explore_with(skip_protocol(3, 2), &cfg, |w| {
+            if w.procs[0].phase.in_critical() {
+                Err("p0 reached the critical section".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(report.invariant_failure.is_some());
+    }
+
+    #[test]
+    fn crash_transitions_respect_the_budget() {
+        let cfg = ExploreConfig {
+            max_failures: 1,
+            participants: Some(vec![0, 1]),
+            ..ExploreConfig::default()
+        };
+        let report = explore(skip_protocol(3, 2), &cfg);
+        report.assert_ok();
+        let crashes = report
+            .edges
+            .iter()
+            .flatten()
+            .filter(|(l, _)| matches!(l, Label::Crash(_)))
+            .count();
+        assert!(crashes > 0, "adversary should have crash options");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let cfg = ExploreConfig {
+            max_states: 3,
+            ..ExploreConfig::default()
+        };
+        let report = explore(skip_protocol(4, 3), &cfg);
+        assert!(report.truncated);
+    }
+}

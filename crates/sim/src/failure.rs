@@ -1,0 +1,204 @@
+//! Crash-failure injection.
+//!
+//! The paper's fault model (§2): a process is *faulty* in a history if it
+//! is not in its noncritical section and executes no statements after some
+//! state. A `(k-1)`-resilient algorithm must guarantee progress to every
+//! nonfaulty process provided at most `k-1` processes are faulty.
+//!
+//! A [`FailurePlan`] makes that adversary concrete: it declares, per
+//! victim, the moment the victim permanently stops taking steps. Plans are
+//! polled by the simulator after every step; once a trigger matches, the
+//! victim is marked failed and never scheduled again. Failing *inside the
+//! critical section* is the harshest case — the victim occupies one of the
+//! `k` slots forever.
+
+use crate::process::Phase;
+use crate::world::World;
+use crate::types::Pid;
+
+/// When a victim stops taking steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailWhen {
+    /// After the victim has executed this many of its own steps
+    /// (wherever that lands it — possibly mid-entry-section).
+    AfterOwnSteps(u64),
+    /// The first time the victim is inside its critical section.
+    InCriticalSection,
+    /// The first time the victim is contending (outside its noncritical
+    /// section) having taken at least `after_own_steps` steps.
+    WhileContending {
+        /// Minimum own-step count before the trigger can fire.
+        after_own_steps: u64,
+    },
+}
+
+/// One victim and its trigger.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSpec {
+    /// The process to crash.
+    pub pid: Pid,
+    /// When to crash it.
+    pub when: FailWhen,
+}
+
+/// A set of pending failures, polled against the world after every step.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    pending: Vec<FailureSpec>,
+    fired: Vec<FailureSpec>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan crashing each listed process the first time it is inside
+    /// its critical section.
+    pub fn crash_in_cs(pids: impl IntoIterator<Item = Pid>) -> Self {
+        FailurePlan {
+            pending: pids
+                .into_iter()
+                .map(|pid| FailureSpec {
+                    pid,
+                    when: FailWhen::InCriticalSection,
+                })
+                .collect(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// Add a failure spec.
+    pub fn push(&mut self, spec: FailureSpec) {
+        self.pending.push(spec);
+    }
+
+    /// Number of failures injected so far.
+    pub fn fired_count(&self) -> usize {
+        self.fired.len()
+    }
+
+    /// The failures injected so far.
+    pub fn fired(&self) -> &[FailureSpec] {
+        &self.fired
+    }
+
+    /// `true` if no failures remain pending.
+    pub fn exhausted(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Check triggers against the current world state and crash any
+    /// victims whose trigger fires. Returns the pids crashed this poll.
+    pub fn poll(&mut self, world: &mut World) -> Vec<Pid> {
+        let mut crashed = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let spec = self.pending[i];
+            let proc = &world.procs[spec.pid];
+            let fire = !proc.failed
+                && match spec.when {
+                    FailWhen::AfterOwnSteps(s) => proc.steps >= s,
+                    FailWhen::InCriticalSection => proc.phase.in_critical(),
+                    FailWhen::WhileContending { after_own_steps } => {
+                        proc.phase.is_contending() && proc.steps >= after_own_steps
+                    }
+                };
+            if fire {
+                world.fail(spec.pid);
+                crashed.push(spec.pid);
+                self.fired.push(spec);
+                self.pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        crashed
+    }
+}
+
+/// Assert the paper's resilience precondition: at most `k - 1` failures.
+///
+/// Experiments that intentionally violate it (to show the `k`-th failure
+/// blocks everyone) skip this check.
+pub fn assert_resilience_precondition(plan: &FailurePlan, k: usize) {
+    let total = plan.pending.len() + plan.fired.len();
+    assert!(
+        total < k,
+        "failure plan injects {total} failures but only {} are tolerated (k = {k})",
+        k - 1
+    );
+}
+
+/// `true` if the process is faulty in the paper's sense *right now*: it
+/// has failed while outside its noncritical section.
+pub fn is_faulty(world: &World, p: Pid) -> bool {
+    let proc = &world.procs[p];
+    proc.failed && proc.phase != Phase::Done && proc.phase.is_contending()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memmodel::MemoryModel;
+    use crate::node::SkipNode;
+    use crate::protocol::ProtocolBuilder;
+    use crate::world::{Timing, World};
+
+    fn world(n: usize) -> World {
+        let mut b = ProtocolBuilder::new(n);
+        let root = b.add(SkipNode);
+        let p = b.finish(root, n - 1);
+        World::new(
+            p,
+            MemoryModel::CacheCoherent,
+            Timing {
+                ncs_steps: 0,
+                cs_steps: 2,
+            },
+            None,
+        )
+    }
+
+    #[test]
+    fn crash_in_cs_fires_exactly_when_critical() {
+        let mut w = world(3);
+        let mut plan = FailurePlan::crash_in_cs([1]);
+        assert!(plan.poll(&mut w).is_empty());
+        w.step(1); // begins entry
+        assert!(plan.poll(&mut w).is_empty());
+        w.step(1); // skip entry completes: now critical
+        assert_eq!(plan.poll(&mut w), vec![1]);
+        assert!(w.procs[1].failed);
+        assert!(w.procs[1].phase.in_critical());
+        assert!(is_faulty(&w, 1));
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn after_own_steps_counts_only_the_victims_steps() {
+        let mut w = world(2);
+        let mut plan = FailurePlan::new();
+        plan.push(FailureSpec {
+            pid: 0,
+            when: FailWhen::AfterOwnSteps(3),
+        });
+        for _ in 0..10 {
+            w.step(1); // other process's steps do not count
+        }
+        assert!(plan.poll(&mut w).is_empty());
+        w.step(0);
+        w.step(0);
+        assert!(plan.poll(&mut w).is_empty());
+        w.step(0);
+        assert_eq!(plan.poll(&mut w), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure plan injects")]
+    fn precondition_rejects_k_failures() {
+        let plan = FailurePlan::crash_in_cs([0, 1]);
+        assert_resilience_precondition(&plan, 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! # kex-sim — a shared-memory multiprocessor simulator with RMR accounting
+//!
+//! This crate is the experimental substrate for reproducing Anderson &
+//! Moir, *"Using k-Exclusion to Implement Resilient, Scalable Shared
+//! Objects"* (PODC 1994). The paper analyses synchronization algorithms by
+//! counting **remote memory references** (RMRs) — shared-memory accesses
+//! that traverse the global interconnect — under two machine models:
+//! cache-coherent (CC) and distributed shared-memory (DSM). This simulator
+//! makes that cost model executable:
+//!
+//! * [`mem`]/[`memmodel`] — shared variables with the paper's atomic
+//!   primitives (`read`, `write`, `fetch_and_increment`,
+//!   `compare_and_swap`, `test_and_set`) and exact local/remote
+//!   classification under both machine models.
+//! * [`node`]/[`protocol`] — algorithms expressed as numbered atomic
+//!   statements (mirroring the paper's figures) composed into trees of
+//!   nested `Acquire`/`Release` modules.
+//! * [`world`]/[`process`] — the §2 process model: noncritical section →
+//!   entry section → critical section → exit section, forever.
+//! * [`sched`] — fair schedulers (round-robin, seeded random, skewed) for
+//!   statistics gathering.
+//! * [`failure`] — the crash-failure adversary: a faulty process stops
+//!   taking steps outside its noncritical section.
+//! * [`sim`]/[`stats`]/[`checker`] — a run harness that checks k-exclusion
+//!   and k-assignment safety after every step and aggregates
+//!   per-acquisition RMR statistics (the paper's complexity measure).
+//! * [`explore`]/[`liveness`] — an exhaustive model checker for small
+//!   instances: every interleaving, every crash placement, plus an exact
+//!   SCC-based starvation-freedom analysis under fair scheduling.
+//!
+//! The algorithms themselves (the paper's Figures 1–7 and their
+//! compositions) live in the `kex-core` crate.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use kex_sim::prelude::*;
+//!
+//! // A trivial protocol: entry/exit are `skip`. With two participants and
+//! // k = 2 this is safe, and the simulator can measure it.
+//! let mut b = ProtocolBuilder::new(3);
+//! let root = b.add(SkipNode);
+//! let protocol = b.finish(root, 2);
+//!
+//! let mut sim = Sim::new(protocol, MemoryModel::CacheCoherent)
+//!     .cycles(10)
+//!     .participants([0, 1])
+//!     .build();
+//! let report = sim.run(100_000);
+//! report.assert_safe();
+//! assert_eq!(report.total_completed(), 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checker;
+pub mod explore;
+pub mod failure;
+pub mod liveness;
+pub mod mem;
+pub mod memmodel;
+pub mod node;
+pub mod process;
+pub mod protocol;
+pub mod replay;
+pub mod sched;
+pub mod sim;
+pub mod stats;
+pub mod types;
+pub mod world;
+
+/// Convenient re-exports of the types needed to build and run protocols.
+pub mod prelude {
+    pub use crate::checker::{check_safety, Violation};
+    pub use crate::explore::{explore, explore_with, ExploreConfig, ExploreReport, Label};
+    pub use crate::failure::{FailurePlan, FailureSpec, FailWhen};
+    pub use crate::liveness::{check_starvation_freedom, Starvation};
+    pub use crate::mem::{MemCtx, MemState};
+    pub use crate::memmodel::MemoryModel;
+    pub use crate::node::{Node, SkipNode};
+    pub use crate::process::Phase;
+    pub use crate::protocol::{Protocol, ProtocolBuilder};
+    pub use crate::replay::{replay, replay_with, Trace, TraceStep};
+    pub use crate::sched::{RandomSched, RoundRobin, Scheduler, SkewedSched, VictimSched};
+    pub use crate::sim::{RunReport, Sim, StopReason};
+    pub use crate::stats::{Aggregate, Stats};
+    pub use crate::types::{NodeId, Pid, Section, Step, VarId, Word};
+    pub use crate::vars::{at, VarTable};
+    pub use crate::world::{Event, Timing, World};
+}
+
+pub mod vars;

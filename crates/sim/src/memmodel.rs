@@ -1,0 +1,237 @@
+//! Machine memory models and the rules that classify an access as *local*
+//! or *remote*.
+//!
+//! The paper (§2) measures time complexity as the number of **remote**
+//! accesses of shared memory per critical-section acquisition, because
+//! remote accesses traverse the processor-to-memory interconnect and are
+//! the dominant scalability cost. Two machine classes are considered:
+//!
+//! * **Cache-coherent (CC)** machines: the first read of a variable brings
+//!   a copy into the reading process's cache (one remote reference);
+//!   subsequent reads are local until another process writes the variable,
+//!   which invalidates the copy. Hence a simple spin loop of the form
+//!   `while Q = p do od` generates **at most two** remote references.
+//! * **Distributed shared-memory (DSM)** machines without coherent caches:
+//!   every shared variable is local to exactly one process (it lives in
+//!   that processor's memory partition) and remote to all others.
+//!
+//! [`MemoryModel`] implements exactly these accounting rules; nothing else
+//! in the simulator decides locality.
+
+use crate::types::Pid;
+
+/// The machine class under which remote references are counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryModel {
+    /// Cache-coherent machine: locality follows a per-variable set of
+    /// processes holding a valid cached copy.
+    CacheCoherent,
+    /// Distributed shared-memory machine: locality follows the static
+    /// owner assigned when the variable was allocated.
+    Dsm,
+}
+
+impl MemoryModel {
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryModel::CacheCoherent => "CC",
+            MemoryModel::Dsm => "DSM",
+        }
+    }
+}
+
+/// Maximum number of processes supported by the cache-holder bitsets.
+pub const MAX_PROCESSES: usize = 64;
+
+/// The set of processes holding a valid cached copy of a variable
+/// (cache-coherent model only). A `u64` bitset, hence [`MAX_PROCESSES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HolderSet(u64);
+
+impl HolderSet {
+    /// The empty holder set (variable cached nowhere).
+    #[inline]
+    pub fn empty() -> Self {
+        HolderSet(0)
+    }
+
+    /// A set containing exactly `p`.
+    #[inline]
+    pub fn only(p: Pid) -> Self {
+        HolderSet(1u64 << p)
+    }
+
+    /// Does `p` hold a valid copy?
+    #[inline]
+    pub fn contains(self, p: Pid) -> bool {
+        self.0 & (1u64 << p) != 0
+    }
+
+    /// Is `p` the *sole* holder?
+    #[inline]
+    pub fn is_only(self, p: Pid) -> bool {
+        self.0 == 1u64 << p
+    }
+
+    /// Add `p` to the set (a read migrated a copy into `p`'s cache).
+    #[inline]
+    pub fn insert(&mut self, p: Pid) {
+        self.0 |= 1u64 << p;
+    }
+
+    /// Invalidate all copies except `p`'s (a write by `p`).
+    #[inline]
+    pub fn set_only(&mut self, p: Pid) {
+        self.0 = 1u64 << p;
+    }
+}
+
+/// Classification of a single shared-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// Served from the local cache or local memory partition.
+    Local,
+    /// Traverses the global interconnect.
+    Remote,
+}
+
+impl Locality {
+    /// `true` iff the access was remote.
+    #[inline]
+    pub fn is_remote(self) -> bool {
+        matches!(self, Locality::Remote)
+    }
+}
+
+/// Decide whether a **read** of a variable by `p` is local or remote, and
+/// update cache state accordingly.
+///
+/// * CC: local iff `p` holds a valid copy; otherwise remote and a copy
+///   migrates into `p`'s cache.
+/// * DSM: local iff `p` owns the variable.
+#[inline]
+pub fn classify_read(
+    model: MemoryModel,
+    p: Pid,
+    owner: Option<Pid>,
+    holders: &mut HolderSet,
+) -> Locality {
+    match model {
+        MemoryModel::CacheCoherent => {
+            if holders.contains(p) {
+                Locality::Local
+            } else {
+                holders.insert(p);
+                Locality::Remote
+            }
+        }
+        MemoryModel::Dsm => {
+            if owner == Some(p) {
+                Locality::Local
+            } else {
+                Locality::Remote
+            }
+        }
+    }
+}
+
+/// Decide whether a **write or read-modify-write** by `p` is local or
+/// remote, and update cache state accordingly.
+///
+/// * CC: local iff `p` is the sole holder (exclusive line); otherwise
+///   remote, and all other copies are invalidated.
+/// * DSM: local iff `p` owns the variable.
+#[inline]
+pub fn classify_write(
+    model: MemoryModel,
+    p: Pid,
+    owner: Option<Pid>,
+    holders: &mut HolderSet,
+) -> Locality {
+    match model {
+        MemoryModel::CacheCoherent => {
+            if holders.is_only(p) {
+                Locality::Local
+            } else {
+                holders.set_only(p);
+                Locality::Remote
+            }
+        }
+        MemoryModel::Dsm => {
+            if owner == Some(p) {
+                Locality::Local
+            } else {
+                Locality::Remote
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_read_caches_and_stays_local() {
+        let mut h = HolderSet::empty();
+        assert!(classify_read(MemoryModel::CacheCoherent, 3, None, &mut h).is_remote());
+        assert!(!classify_read(MemoryModel::CacheCoherent, 3, None, &mut h).is_remote());
+        assert!(h.contains(3));
+    }
+
+    #[test]
+    fn cc_write_invalidates_other_copies() {
+        let mut h = HolderSet::empty();
+        // p0 and p1 both cache the line.
+        classify_read(MemoryModel::CacheCoherent, 0, None, &mut h);
+        classify_read(MemoryModel::CacheCoherent, 1, None, &mut h);
+        // p1 writes: remote (shared line), p0 invalidated.
+        assert!(classify_write(MemoryModel::CacheCoherent, 1, None, &mut h).is_remote());
+        assert!(!h.contains(0));
+        assert!(h.is_only(1));
+        // p1 writes again: now exclusive, local.
+        assert!(!classify_write(MemoryModel::CacheCoherent, 1, None, &mut h).is_remote());
+        // p0 must re-read remotely.
+        assert!(classify_read(MemoryModel::CacheCoherent, 0, None, &mut h).is_remote());
+    }
+
+    #[test]
+    fn cc_spin_loop_costs_at_most_two_remote_references() {
+        // The §2 accounting assumption, reproduced mechanically: a spinner
+        // re-reading a variable pays one remote miss, then reads locally
+        // until a releaser writes, then pays one final remote read.
+        let mut h = HolderSet::empty();
+        let spinner = 5;
+        let releaser = 7;
+        let mut remote = 0;
+        // First read of the spin variable: miss.
+        if classify_read(MemoryModel::CacheCoherent, spinner, None, &mut h).is_remote() {
+            remote += 1;
+        }
+        // 100 further spin iterations: all local.
+        for _ in 0..100 {
+            if classify_read(MemoryModel::CacheCoherent, spinner, None, &mut h).is_remote() {
+                remote += 1;
+            }
+        }
+        // Releaser writes (invalidates the spinner's copy)...
+        classify_write(MemoryModel::CacheCoherent, releaser, None, &mut h);
+        // ...spinner's next read misses once and the loop terminates.
+        if classify_read(MemoryModel::CacheCoherent, spinner, None, &mut h).is_remote() {
+            remote += 1;
+        }
+        assert_eq!(remote, 2);
+    }
+
+    #[test]
+    fn dsm_locality_follows_static_owner() {
+        let mut h = HolderSet::empty();
+        assert!(!classify_read(MemoryModel::Dsm, 2, Some(2), &mut h).is_remote());
+        assert!(classify_read(MemoryModel::Dsm, 3, Some(2), &mut h).is_remote());
+        assert!(!classify_write(MemoryModel::Dsm, 2, Some(2), &mut h).is_remote());
+        assert!(classify_write(MemoryModel::Dsm, 3, Some(2), &mut h).is_remote());
+        // Unowned (global) variables are remote to everyone under DSM.
+        assert!(classify_read(MemoryModel::Dsm, 2, None, &mut h).is_remote());
+    }
+}

@@ -1,0 +1,101 @@
+//! The algorithm-node abstraction: one `Acquire`/`Release` module.
+//!
+//! Every algorithm in the paper is presented as a numbered list of atomic
+//! statements over shared variables, possibly invoking a nested
+//! `Acquire(..)`/`Release(..)` pair (the inductive constructions of §3).
+//! A [`Node`] mirrors that shape exactly: it is an immutable description
+//! of one module's statements, stepped one atomic statement at a time.
+//! All mutable state lives outside the node — shared variables in
+//! [`crate::mem::MemState`] and per-process local variables in the slice
+//! handed to [`Node::step`] — so a single node instance serves all
+//! processes and all cloned explorer states.
+//!
+//! Program counters within a section start at 0; `Step::Return` ends the
+//! section. Nested modules are invoked with [`Step::Call`], which the
+//! runtime implements with an explicit frame stack (see
+//! [`crate::process`]), so compositions like the `(N,k)`-exclusion chain
+//! or the Figure 3 tree need no host-stack recursion.
+
+use crate::mem::MemCtx;
+use crate::types::{Pid, Section, Step, Word};
+
+/// One algorithm module: a pair of entry/exit sections made of numbered
+/// atomic statements.
+///
+/// Implementations must be pure functions of `(section, pc, locals,
+/// shared memory)`: all mutation goes through the provided references.
+/// This is what lets the model checker clone and replay world states.
+pub trait Node: Send + Sync {
+    /// Diagnostic name, e.g. `"fig2(N=8,k=3)"`.
+    fn name(&self) -> String;
+
+    /// Number of persistent per-process local words this node needs.
+    ///
+    /// Locals persist from the entry section to the matching exit section
+    /// (and across acquisitions — e.g. Figure 6's `last` variable lives
+    /// for the whole execution).
+    fn locals_len(&self) -> usize {
+        0
+    }
+
+    /// Initialize process `p`'s locals (default: all zeros).
+    fn init_locals(&self, p: Pid, locals: &mut [Word]) {
+        let _ = (p, locals);
+    }
+
+    /// Execute one atomic statement of `sec` at `pc` on behalf of
+    /// `mem.pid()`.
+    fn step(&self, sec: Section, pc: u32, locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step;
+
+    /// If this node assigns names (k-assignment / renaming), the name the
+    /// process currently holds, readable from its locals while it is in
+    /// the critical section.
+    fn acquired_name(&self, locals: &[Word]) -> Option<Word> {
+        let _ = locals;
+        None
+    }
+
+    /// The size of this node's name space, given the protocol's `k`.
+    ///
+    /// Figure-7 k-assignment uses exactly `k` (the default); renaming
+    /// algorithms built from weaker primitives may need a larger space
+    /// (e.g. the read/write-only splitter grid's `k(k+1)/2`). The safety
+    /// checker validates held names against this bound.
+    fn name_space(&self, k: usize) -> usize {
+        k
+    }
+}
+
+/// A trivial node whose entry and exit sections are `skip` — the basis of
+/// the paper's inductions ("if N = k+1 then Acquire and Release are
+/// trivially implemented by skip statements").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SkipNode;
+
+impl Node for SkipNode {
+    fn name(&self) -> String {
+        "skip".to_owned()
+    }
+
+    fn step(&self, _sec: Section, _pc: u32, _locals: &mut [Word], _mem: &mut MemCtx<'_>) -> Step {
+        Step::Return
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemState;
+    use crate::memmodel::MemoryModel;
+    use crate::vars::VarTable;
+
+    #[test]
+    fn skip_node_returns_immediately_without_memory_traffic() {
+        let t = VarTable::new();
+        let mut m = MemState::new(&t, 1);
+        let mut ctx = m.ctx(&t, MemoryModel::Dsm, 0);
+        let step = SkipNode.step(Section::Entry, 0, &mut [], &mut ctx);
+        assert_eq!(step, Step::Return);
+        assert_eq!(m.remote_refs(0), 0);
+    }
+}

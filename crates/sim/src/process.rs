@@ -1,0 +1,184 @@
+//! Per-process runtime state: the phase cycle, the frame stack for nested
+//! modules, and persistent local variables.
+//!
+//! Per the paper's model (§2), each process cycles through a noncritical
+//! section, an entry section, a critical section, and an exit section. The
+//! simulator represents "time spent" in the noncritical and critical
+//! sections as a configurable number of scheduler steps, so schedules can
+//! hold a process inside its critical section while others contend.
+
+use crate::types::{NodeId, Pid, Section, Word};
+
+/// Where a process is in its noncritical/entry/critical/exit cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// In the noncritical section for `remaining` more of its own steps.
+    Noncritical {
+        /// Steps left before the process starts its entry section.
+        remaining: u32,
+    },
+    /// Executing the entry section (the frame stack is non-empty).
+    Entry,
+    /// Inside the critical section for `remaining` more of its own steps.
+    Critical {
+        /// Steps left before the process starts its exit section.
+        remaining: u32,
+    },
+    /// Executing the exit section (the frame stack is non-empty).
+    Exit,
+    /// Finished all requested cycles (or never participated).
+    Done,
+}
+
+impl Phase {
+    /// Is the process inside its critical section?
+    #[inline]
+    pub fn in_critical(self) -> bool {
+        matches!(self, Phase::Critical { .. })
+    }
+
+    /// Is the process outside its noncritical section (contending)?
+    ///
+    /// This is the paper's definition of a process that counts toward
+    /// *contention*.
+    #[inline]
+    pub fn is_contending(self) -> bool {
+        matches!(self, Phase::Entry | Phase::Critical { .. } | Phase::Exit)
+    }
+
+    pub(crate) fn encode(self, out: &mut Vec<Word>) {
+        match self {
+            Phase::Noncritical { remaining } => {
+                out.push(0);
+                out.push(remaining as Word);
+            }
+            Phase::Entry => {
+                out.push(1);
+                out.push(0);
+            }
+            Phase::Critical { remaining } => {
+                out.push(2);
+                out.push(remaining as Word);
+            }
+            Phase::Exit => {
+                out.push(3);
+                out.push(0);
+            }
+            Phase::Done => {
+                out.push(4);
+                out.push(0);
+            }
+        }
+    }
+}
+
+/// One activation record of a node section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// The node being executed.
+    pub node: NodeId,
+    /// Which section of it.
+    pub section: Section,
+    /// Program counter of the next statement.
+    pub pc: u32,
+}
+
+/// Full runtime state of one simulated process.
+#[derive(Debug, Clone)]
+pub struct ProcState {
+    /// The process id.
+    pub pid: Pid,
+    /// Current phase.
+    pub phase: Phase,
+    /// Frame stack for nested `Acquire`/`Release` calls. Non-empty exactly
+    /// when `phase` is `Entry` or `Exit`.
+    pub stack: Vec<Frame>,
+    /// Persistent locals for every node, laid out per
+    /// [`crate::protocol::Protocol`] offsets.
+    pub locals: Vec<Word>,
+    /// Remaining entry→exit cycles; `None` means cycle forever.
+    pub cycles_left: Option<u64>,
+    /// Whether the process has crash-failed (it takes no further steps).
+    pub failed: bool,
+    /// Completed critical-section visits (not part of explorer state).
+    pub completed: u64,
+    /// Total steps taken (not part of explorer state).
+    pub steps: u64,
+}
+
+impl ProcState {
+    /// A process that will run `cycles` entry→exit cycles (`None` =
+    /// forever), starting in its noncritical section.
+    pub fn new(pid: Pid, locals: Vec<Word>, cycles: Option<u64>, initial_ncs: u32) -> Self {
+        let phase = if cycles == Some(0) {
+            Phase::Done
+        } else {
+            Phase::Noncritical {
+                remaining: initial_ncs,
+            }
+        };
+        ProcState {
+            pid,
+            phase,
+            stack: Vec::new(),
+            locals,
+            cycles_left: cycles,
+            failed: false,
+            completed: 0,
+            steps: 0,
+        }
+    }
+
+    /// Can the scheduler pick this process?
+    #[inline]
+    pub fn runnable(&self) -> bool {
+        !self.failed && self.phase != Phase::Done
+    }
+
+    /// Encode the behaviorally relevant part of this state for the model
+    /// checker (excludes statistics).
+    pub(crate) fn encode(&self, out: &mut Vec<Word>) {
+        self.phase.encode(out);
+        out.push(self.failed as Word);
+        out.push(match self.cycles_left {
+            None => -1,
+            Some(c) => c as Word,
+        });
+        out.push(self.stack.len() as Word);
+        for f in &self.stack {
+            out.push(f.node.index() as Word);
+            out.push(f.section.tag());
+            out.push(f.pc as Word);
+        }
+        out.extend_from_slice(&self.locals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cycle_processes_start_done() {
+        let p = ProcState::new(0, vec![], Some(0), 0);
+        assert_eq!(p.phase, Phase::Done);
+        assert!(!p.runnable());
+    }
+
+    #[test]
+    fn contention_counts_everything_outside_the_ncs() {
+        assert!(!Phase::Noncritical { remaining: 1 }.is_contending());
+        assert!(Phase::Entry.is_contending());
+        assert!(Phase::Critical { remaining: 0 }.is_contending());
+        assert!(Phase::Exit.is_contending());
+        assert!(!Phase::Done.is_contending());
+    }
+
+    #[test]
+    fn failed_processes_are_not_runnable() {
+        let mut p = ProcState::new(1, vec![], None, 0);
+        assert!(p.runnable());
+        p.failed = true;
+        assert!(!p.runnable());
+    }
+}

@@ -1,0 +1,200 @@
+//! A complete, immutable protocol: the node tree, the variable table, and
+//! the `(N, k)` parameters.
+//!
+//! Build one with [`ProtocolBuilder`]: allocate shared variables and add
+//! nodes (children before parents, since parents store child
+//! [`NodeId`]s), then [`ProtocolBuilder::finish`] with the root node.
+//! The resulting [`Protocol`] is shared behind `Arc` by every simulator
+//! and explorer instance.
+
+use std::sync::Arc;
+
+use crate::memmodel::MAX_PROCESSES;
+use crate::node::Node;
+use crate::types::{NodeId, Pid, Word};
+use crate::vars::VarTable;
+
+/// Immutable description of a built `(N, k)`-exclusion (or k-assignment)
+/// protocol.
+pub struct Protocol {
+    nodes: Vec<Arc<dyn Node>>,
+    table: VarTable,
+    root: NodeId,
+    n: usize,
+    k: usize,
+    locals_offset: Vec<usize>,
+    locals_total: usize,
+}
+
+impl std::fmt::Debug for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Protocol")
+            .field("root", &self.root)
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("nodes", &self.nodes.len())
+            .field("vars", &self.table.len())
+            .finish()
+    }
+}
+
+impl Protocol {
+    /// Number of processes `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Exclusion bound `k`: at most `k` processes may be in their critical
+    /// sections simultaneously.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The root node's id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node behind `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        &*self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the protocol.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared-variable table.
+    #[inline]
+    pub fn vars(&self) -> &VarTable {
+        &self.table
+    }
+
+    /// Offset of `id`'s locals within a process's locals array.
+    #[inline]
+    pub(crate) fn locals_offset(&self, id: NodeId) -> usize {
+        self.locals_offset[id.index()]
+    }
+
+    /// Length of `id`'s locals.
+    #[inline]
+    pub(crate) fn locals_len(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].locals_len()
+    }
+
+    /// Total locals words per process (all nodes concatenated).
+    #[inline]
+    pub(crate) fn locals_total(&self) -> usize {
+        self.locals_total
+    }
+
+    /// A freshly initialized locals array for process `p`.
+    pub(crate) fn fresh_locals(&self, p: Pid) -> Vec<Word> {
+        let mut out = vec![0; self.locals_total];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let off = self.locals_offset[i];
+            node.init_locals(p, &mut out[off..off + node.locals_len()]);
+        }
+        out
+    }
+}
+
+/// Builder for a [`Protocol`]. Also carries the [`VarTable`] that node
+/// constructors allocate their shared variables into.
+pub struct ProtocolBuilder {
+    /// The shared-variable table; node constructors allocate into this.
+    pub vars: VarTable,
+    nodes: Vec<Arc<dyn Node>>,
+    n: usize,
+}
+
+impl ProtocolBuilder {
+    /// Start building a protocol for `n` processes.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or exceeds [`MAX_PROCESSES`].
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a protocol needs at least one process");
+        assert!(
+            n <= MAX_PROCESSES,
+            "at most {MAX_PROCESSES} processes are supported (cache bitsets)"
+        );
+        ProtocolBuilder {
+            vars: VarTable::new(),
+            nodes: Vec::new(),
+            n,
+        }
+    }
+
+    /// Number of processes the protocol is being built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add a node; returns its id for use as a parent's child reference.
+    pub fn add(&mut self, node: impl Node + 'static) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(Arc::new(node));
+        id
+    }
+
+    /// Finish the protocol with `root` as the top-level node and `k` as
+    /// the advertised exclusion bound (used by checkers).
+    ///
+    /// # Panics
+    /// Panics if `root` is not a node of this builder or `k` is not in
+    /// `1..n`.
+    pub fn finish(self, root: NodeId, k: usize) -> Arc<Protocol> {
+        assert!(root.index() < self.nodes.len(), "unknown root node");
+        assert!(k >= 1 && k < self.n, "require 1 <= k < N (got k={k}, N={})", self.n);
+        let mut locals_offset = Vec::with_capacity(self.nodes.len());
+        let mut total = 0usize;
+        for node in &self.nodes {
+            locals_offset.push(total);
+            total += node.locals_len();
+        }
+        Arc::new(Protocol {
+            nodes: self.nodes,
+            table: self.vars,
+            root,
+            n: self.n,
+            k,
+            locals_offset,
+            locals_total: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SkipNode;
+
+    #[test]
+    fn builder_assigns_dense_node_ids_and_local_offsets() {
+        let mut b = ProtocolBuilder::new(4);
+        let a = b.add(SkipNode);
+        let c = b.add(SkipNode);
+        let p = b.finish(c, 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+        assert_eq!(p.n(), 4);
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.locals_total(), 0);
+        assert_eq!(p.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "require 1 <= k < N")]
+    fn k_must_be_below_n() {
+        let mut b = ProtocolBuilder::new(3);
+        let r = b.add(SkipNode);
+        let _ = b.finish(r, 3);
+    }
+}

@@ -1,0 +1,326 @@
+//! Counterexample replay: turn a schedule extracted from the model
+//! checker back into a concrete, human-readable execution.
+//!
+//! [`crate::explore::ExploreReport::counterexample`] returns the exact
+//! sequence of step/crash transitions that reaches a violating state.
+//! [`replay`] re-executes that schedule on a fresh world and records a
+//! [`Trace`] — one line per atomic step, naming the process, the node
+//! and statement it executed, and the phase it landed in — so a failed
+//! model-checking run ends in something a human can read, not just a
+//! state id.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::checker::{check_safety, Violation};
+use crate::explore::Label;
+use crate::memmodel::MemoryModel;
+use crate::process::Phase;
+use crate::protocol::Protocol;
+use crate::world::{Timing, World};
+use crate::types::Pid;
+
+/// One replayed transition.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// Step index within the schedule.
+    pub index: usize,
+    /// The transition replayed.
+    pub label: Label,
+    /// Where the process was *before* the step: `node-name@pc` of its
+    /// top frame, or its phase if it had no frame.
+    pub site: String,
+    /// The process's phase after the step.
+    pub phase_after: Phase,
+    /// Number of processes in their critical sections after the step.
+    pub critical_after: usize,
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.label {
+            Label::Step(p) => write!(
+                f,
+                "{:>4}. p{} steps {:<24} -> {:?} (critical: {})",
+                self.index, p, self.site, self.phase_after, self.critical_after
+            ),
+            Label::Crash(p) => write!(
+                f,
+                "{:>4}. p{} CRASHES at {:<20} (critical: {})",
+                self.index, p, self.site, self.critical_after
+            ),
+        }
+    }
+}
+
+/// A replayed execution.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The per-transition records.
+    pub steps: Vec<TraceStep>,
+    /// The safety verdict in the final state.
+    pub final_verdict: Result<(), Violation>,
+}
+
+impl Trace {
+    /// `true` iff the final state violates safety (i.e. the replayed
+    /// schedule is a genuine counterexample).
+    pub fn ends_in_violation(&self) -> bool {
+        self.final_verdict.is_err()
+    }
+
+    /// Render the trace as per-process lanes: one column per process,
+    /// one row per transition, with the stepping process marked by the
+    /// phase it lands in (`n`oncritical, `E`ntry, `C`ritical, e`X`it,
+    /// `!` crash) — at a glance you can see who overlapped in the
+    /// critical section.
+    ///
+    /// `n` is the process-universe size (column count).
+    pub fn render_lanes(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str("step  ");
+        for p in 0..n {
+            out.push_str(&format!("p{p:<3}"));
+        }
+        out.push('\n');
+        for s in &self.steps {
+            let (pid, mark) = match s.label {
+                Label::Crash(p) => (p, '!'),
+                Label::Step(p) => {
+                    let mark = match s.phase_after {
+                        Phase::Noncritical { .. } => 'n',
+                        Phase::Entry => 'E',
+                        Phase::Critical { .. } => 'C',
+                        Phase::Exit => 'X',
+                        Phase::Done => 'd',
+                    };
+                    (p, mark)
+                }
+            };
+            out.push_str(&format!("{:>4}  ", s.index));
+            for p in 0..n {
+                if p == pid {
+                    out.push(mark);
+                    out.push_str("   ");
+                } else {
+                    out.push_str(".   ");
+                }
+            }
+            if s.critical_after > 1 {
+                out.push_str(&format!("  <-- {} in CS", s.critical_after));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            writeln!(f, "{s}")?;
+        }
+        match &self.final_verdict {
+            Ok(()) => writeln!(f, "final state: safe"),
+            Err(v) => writeln!(f, "final state: VIOLATION — {v}"),
+        }
+    }
+}
+
+/// Describe where process `p` currently stands (node@pc or phase).
+fn site_of(world: &World, p: Pid) -> String {
+    let proc = &world.procs[p];
+    match proc.stack.last() {
+        Some(f) => format!(
+            "{}@{}[{}]",
+            world.protocol.node(f.node).name(),
+            f.pc,
+            f.section
+        ),
+        None => format!("{:?}", proc.phase),
+    }
+}
+
+/// Replay `schedule` from a fresh world and record the trace.
+///
+/// The world configuration (timing, cycles, participants) must match the
+/// exploration that produced the schedule, or the replay will diverge;
+/// [`replay_with`] takes the same knobs as
+/// [`crate::explore::ExploreConfig`].
+pub fn replay(protocol: Arc<Protocol>, schedule: &[Label]) -> Trace {
+    replay_with(protocol, schedule, Timing::default(), None, None)
+}
+
+/// [`replay`] with explicit timing, cycle bound, and participant set.
+pub fn replay_with(
+    protocol: Arc<Protocol>,
+    schedule: &[Label],
+    timing: Timing,
+    cycles: Option<u64>,
+    participants: Option<&[Pid]>,
+) -> Trace {
+    let mut world = World::new(protocol, MemoryModel::CacheCoherent, timing, cycles);
+    if let Some(parts) = participants {
+        world.restrict_participants(parts);
+    }
+    let mut steps = Vec::with_capacity(schedule.len());
+    for (index, &label) in schedule.iter().enumerate() {
+        let p = match label {
+            Label::Step(p) | Label::Crash(p) => p,
+        };
+        let site = site_of(&world, p);
+        match label {
+            Label::Step(p) => {
+                world.step(p);
+            }
+            Label::Crash(p) => {
+                world.fail(p);
+            }
+        }
+        steps.push(TraceStep {
+            index,
+            label,
+            site,
+            phase_after: world.procs[p].phase,
+            critical_after: world.critical_count(),
+        });
+    }
+    Trace {
+        steps,
+        final_verdict: check_safety(&world),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreConfig};
+    use crate::mem::MemCtx;
+    use crate::node::Node;
+    use crate::protocol::ProtocolBuilder;
+    use crate::types::{Section, Step, VarId, Word};
+
+    /// A broken "2-exclusion" that admits everyone: counterexamples must
+    /// be found, reconstructed, and replay to the same violation.
+    struct Broken {
+        x: VarId,
+    }
+
+    impl Node for Broken {
+        fn name(&self) -> String {
+            "broken".into()
+        }
+
+        fn step(
+            &self,
+            sec: Section,
+            _pc: u32,
+            _locals: &mut [Word],
+            mem: &mut MemCtx<'_>,
+        ) -> Step {
+            match sec {
+                Section::Entry => {
+                    mem.fetch_and_increment(self.x, 1); // no check at all
+                    Step::Return
+                }
+                Section::Exit => {
+                    mem.fetch_and_increment(self.x, -1);
+                    Step::Return
+                }
+            }
+        }
+    }
+
+    fn broken_protocol() -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(3);
+        let x = b.vars.alloc("X", 0);
+        let root = b.add(Broken { x });
+        b.finish(root, 1)
+    }
+
+    #[test]
+    fn counterexamples_replay_to_the_same_violation() {
+        let proto = broken_protocol();
+        let report = explore(proto.clone(), &ExploreConfig::default());
+        let (state, violation) = report.violation.clone().expect("must be violated");
+        let schedule = report.counterexample(state);
+        assert!(!schedule.is_empty());
+        let trace = replay(proto, &schedule);
+        assert!(trace.ends_in_violation(), "replay must reproduce it:\n{trace}");
+        assert_eq!(trace.final_verdict.clone().unwrap_err(), violation);
+        // The rendering is non-empty and mentions the violating node.
+        let text = trace.to_string();
+        assert!(text.contains("VIOLATION"));
+        assert!(text.contains("broken"));
+    }
+
+    #[test]
+    fn clean_protocols_have_no_counterexample() {
+        // Only 2 of 3 processes participate, so even the broken node
+        // cannot exceed k = 2: exploration is clean, no counterexample.
+        let proto = {
+            let mut b = ProtocolBuilder::new(3);
+            let x = b.vars.alloc("X", 0);
+            let root = b.add(Broken { x });
+            b.finish(root, 2)
+        };
+        let cfg = ExploreConfig {
+            participants: Some(vec![0, 1]),
+            ..ExploreConfig::default()
+        };
+        let report = explore(proto, &cfg);
+        report.assert_ok();
+        assert!(report.first_counterexample().is_none());
+    }
+
+    #[test]
+    fn crash_labels_render_distinctly() {
+        let proto = broken_protocol();
+        let trace = replay(proto, &[Label::Step(0), Label::Crash(0)]);
+        let text = trace.to_string();
+        assert!(text.contains("CRASHES"), "{text}");
+    }
+
+    #[test]
+    fn lane_rendering_marks_the_overlap() {
+        let proto = broken_protocol();
+        let report = explore(proto.clone(), &ExploreConfig::default());
+        let schedule = report.first_counterexample().unwrap();
+        let trace = replay(proto, &schedule);
+        let lanes = trace.render_lanes(3);
+        assert!(lanes.contains("in CS"), "overlap not marked:\n{lanes}");
+        assert!(lanes.starts_with("step  p0  p1  p2"), "{lanes}");
+    }
+
+    #[test]
+    fn recorded_sim_schedules_replay_exactly() {
+        // A random Sim run with recording enabled replays to the same
+        // final verdict and completion counts.
+        use crate::sched::RandomSched;
+        use crate::sim::Sim;
+        let proto = broken_protocol();
+        let mut sim = Sim::new(proto.clone(), MemoryModel::CacheCoherent)
+            .cycles(4)
+            .participants([0, 1])
+            .scheduler(RandomSched::new(9))
+            .record_schedule()
+            .build();
+        let report = sim.run(10_000);
+        let schedule = report.schedule.expect("recording was enabled");
+        assert_eq!(schedule.len() as u64, report.steps);
+        let trace = replay_with(
+            proto,
+            &schedule,
+            Timing::default(),
+            Some(4),
+            Some(&[0, 1]),
+        );
+        // Same number of transitions, same safety verdict at the end.
+        assert_eq!(trace.steps.len(), schedule.len());
+        assert_eq!(
+            trace.final_verdict.is_err(),
+            report.violation.is_some(),
+            "replay diverged from the recorded run"
+        );
+    }
+}

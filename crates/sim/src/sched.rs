@@ -1,0 +1,247 @@
+//! Schedulers: who takes the next atomic step.
+//!
+//! The paper's processes are asynchronous: any interleaving of atomic
+//! statements is possible, subject only to the fairness needed for
+//! starvation-freedom (a nonfaulty process keeps taking steps). The
+//! schedulers here produce useful families of interleavings:
+//!
+//! * [`RoundRobin`] — the most regular fair schedule; good for smoke tests
+//!   and deterministic RMR measurements.
+//! * [`RandomSched`] — uniformly random among runnable processes; seeded,
+//!   so experiments are reproducible. Many seeds approximate an adversary
+//!   when measuring worst-case RMR counts.
+//! * [`SkewedSched`] — geometrically biased toward low pids, starving
+//!   high pids for long stretches (still fair in the limit). Useful for
+//!   stressing the release/hand-off paths.
+//!
+//! Exhaustive interleaving coverage for small instances is the job of the
+//! model checker in [`crate::explore`], not of a scheduler.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::Pid;
+
+/// Picks the next process to step among the runnable ones.
+pub trait Scheduler {
+    /// Choose one element of `runnable` (guaranteed non-empty).
+    fn next(&mut self, runnable: &[Pid]) -> Pid;
+}
+
+/// Strict rotation over runnable processes.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    last: Pid,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler starting from pid 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, runnable: &[Pid]) -> Pid {
+        // Pick the first runnable pid strictly greater than `last`,
+        // wrapping around.
+        let p = runnable
+            .iter()
+            .copied()
+            .find(|&p| p > self.last)
+            .unwrap_or(runnable[0]);
+        self.last = p;
+        p
+    }
+}
+
+/// Uniformly random fair scheduler with a fixed seed.
+#[derive(Debug, Clone)]
+pub struct RandomSched {
+    rng: SmallRng,
+}
+
+impl RandomSched {
+    /// A random scheduler with the given seed (reproducible).
+    pub fn new(seed: u64) -> Self {
+        RandomSched {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn next(&mut self, runnable: &[Pid]) -> Pid {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Randomized scheduler biased toward low pids: each runnable process is
+/// chosen over all higher-pid ones with probability `bias`.
+///
+/// With `bias` close to 1 the schedule lets low pids lap the others many
+/// times before a high pid moves — a cheap approximation of an adversary
+/// trying to maximize a victim's waiting (and hence its remote
+/// references).
+#[derive(Debug, Clone)]
+pub struct SkewedSched {
+    rng: SmallRng,
+    bias: f64,
+}
+
+impl SkewedSched {
+    /// A skewed scheduler. `bias` must be in `(0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not strictly between 0 and 1.
+    pub fn new(seed: u64, bias: f64) -> Self {
+        assert!(bias > 0.0 && bias < 1.0, "bias must be in (0,1)");
+        SkewedSched {
+            rng: SmallRng::seed_from_u64(seed),
+            bias,
+        }
+    }
+}
+
+impl Scheduler for SkewedSched {
+    fn next(&mut self, runnable: &[Pid]) -> Pid {
+        for &p in &runnable[..runnable.len() - 1] {
+            if self.rng.gen_bool(self.bias) {
+                return p;
+            }
+        }
+        *runnable.last().unwrap()
+    }
+}
+
+/// The harshest *fair-in-the-limit* adversary against one process: the
+/// victim is scheduled only when no other process is runnable... except
+/// once every `relent` picks, which keeps the schedule strongly fair (the
+/// victim steps infinitely often) while letting rivals lap it `relent`
+/// times between its steps.
+///
+/// Against a starvation-free algorithm the victim still completes its
+/// acquisitions (just slowly); against the global-spin baseline it burns
+/// remote references proportional to `relent` without bound. Use it to
+/// measure a victim's worst-case costs under maximal adversity.
+#[derive(Debug, Clone)]
+pub struct VictimSched {
+    victim: Pid,
+    relent: u64,
+    ticks: u64,
+    rr: RoundRobin,
+}
+
+impl VictimSched {
+    /// An adversary against `victim`, letting it run once every `relent`
+    /// scheduling decisions.
+    ///
+    /// # Panics
+    /// Panics if `relent == 0`.
+    pub fn new(victim: Pid, relent: u64) -> Self {
+        assert!(relent > 0, "relent must be positive (fairness)");
+        VictimSched {
+            victim,
+            relent,
+            ticks: 0,
+            rr: RoundRobin::new(),
+        }
+    }
+}
+
+impl Scheduler for VictimSched {
+    fn next(&mut self, runnable: &[Pid]) -> Pid {
+        self.ticks += 1;
+        let others: Vec<Pid> = runnable
+            .iter()
+            .copied()
+            .filter(|&p| p != self.victim)
+            .collect();
+        if others.is_empty() || self.ticks % self.relent == 0 {
+            if runnable.contains(&self.victim) {
+                return self.victim;
+            }
+        }
+        if others.is_empty() {
+            runnable[0]
+        } else {
+            self.rr.next(&others)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobin::new();
+        let r = vec![0, 2, 5];
+        assert_eq!(s.next(&r), 2); // first pid > 0
+        assert_eq!(s.next(&r), 5);
+        assert_eq!(s.next(&r), 0); // wraps
+        assert_eq!(s.next(&r), 2);
+    }
+
+    #[test]
+    fn round_robin_handles_shrinking_sets() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.next(&[0, 1, 2]), 1);
+        // pid 2 left the runnable set:
+        assert_eq!(s.next(&[0, 1]), 0);
+    }
+
+    #[test]
+    fn random_sched_is_deterministic_per_seed() {
+        let r: Vec<Pid> = (0..8).collect();
+        let picks1: Vec<Pid> = {
+            let mut s = RandomSched::new(42);
+            (0..32).map(|_| s.next(&r)).collect()
+        };
+        let picks2: Vec<Pid> = {
+            let mut s = RandomSched::new(42);
+            (0..32).map(|_| s.next(&r)).collect()
+        };
+        assert_eq!(picks1, picks2);
+    }
+
+    #[test]
+    fn skewed_sched_prefers_low_pids() {
+        let r: Vec<Pid> = (0..4).collect();
+        let mut s = SkewedSched::new(7, 0.9);
+        let picks: Vec<Pid> = (0..1000).map(|_| s.next(&r)).collect();
+        let low = picks.iter().filter(|&&p| p == 0).count();
+        let high = picks.iter().filter(|&&p| p == 3).count();
+        assert!(low > high * 10, "low={low}, high={high}");
+        // ...but remains fair: every pid is eventually scheduled.
+        for p in 0..4 {
+            assert!(picks.contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be in (0,1)")]
+    fn skewed_rejects_degenerate_bias() {
+        let _ = SkewedSched::new(0, 1.0);
+    }
+
+    #[test]
+    fn victim_sched_is_fair_but_brutal() {
+        let r: Vec<Pid> = (0..4).collect();
+        let mut s = VictimSched::new(2, 10);
+        let picks: Vec<Pid> = (0..200).map(|_| s.next(&r)).collect();
+        let victim_picks = picks.iter().filter(|&&p| p == 2).count();
+        assert_eq!(victim_picks, 20, "victim runs exactly once per relent");
+        // Rivals rotate fairly among themselves.
+        for p in [0usize, 1, 3] {
+            assert!(picks.iter().filter(|&&q| q == p).count() >= 50);
+        }
+    }
+
+    #[test]
+    fn victim_sched_handles_victim_only_sets() {
+        let mut s = VictimSched::new(1, 5);
+        assert_eq!(s.next(&[1]), 1);
+    }
+}

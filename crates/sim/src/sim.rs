@@ -1,0 +1,324 @@
+//! The statistics-gathering simulator: runs a protocol under a scheduler
+//! and a failure plan, checking safety after every step and aggregating
+//! per-acquisition RMR statistics.
+
+use std::sync::Arc;
+
+use crate::checker::{check_safety, Violation};
+use crate::explore::Label;
+use crate::failure::FailurePlan;
+use crate::memmodel::MemoryModel;
+use crate::protocol::Protocol;
+use crate::sched::{RoundRobin, Scheduler};
+use crate::stats::Stats;
+use crate::world::{Event, Timing, World};
+use crate::types::Pid;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every process finished its cycles (or failed).
+    Quiescent,
+    /// The step budget was exhausted.
+    StepBudget,
+    /// A safety violation was detected (see [`RunReport::violation`]).
+    Violation,
+}
+
+/// Outcome of a [`Sim::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total steps executed.
+    pub steps: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// The violation, if `stop == Violation`.
+    pub violation: Option<Violation>,
+    /// Per-acquisition RMR statistics.
+    pub stats: Stats,
+    /// Critical-section visits completed per process.
+    pub completed: Vec<u64>,
+    /// Pids crashed by the failure plan during the run.
+    pub crashed: Vec<Pid>,
+    /// The exact transition sequence, when recording was enabled
+    /// ([`SimBuilder::record_schedule`]) — feed it to
+    /// [`crate::replay::replay_with`] (with matching timing/cycles/
+    /// participants) to reproduce the run step by step.
+    pub schedule: Option<Vec<Label>>,
+}
+
+impl RunReport {
+    /// Total completed acquisitions across all processes.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+
+    /// Panic with a readable message if the run hit a violation.
+    pub fn assert_safe(&self) {
+        if let Some(v) = &self.violation {
+            panic!("safety violation after {} steps: {v}", self.steps);
+        }
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Sim {
+    /// The evolving world.
+    pub world: World,
+    sched: Box<dyn Scheduler>,
+    failures: FailurePlan,
+    stats: Stats,
+    record: bool,
+}
+
+impl Sim {
+    /// Build a simulation of `protocol` under `model`.
+    ///
+    /// Defaults: round-robin scheduler, no failures, zero dwell times,
+    /// processes cycle forever (use [`SimBuilder::cycles`] or a step budget to
+    /// terminate).
+    #[allow(clippy::new_ret_no_self)] // deliberate builder entry point
+    pub fn new(protocol: Arc<Protocol>, model: MemoryModel) -> SimBuilder {
+        SimBuilder {
+            protocol,
+            model,
+            timing: Timing::default(),
+            cycles: None,
+            sched: None,
+            failures: FailurePlan::new(),
+            participants: None,
+            record: false,
+        }
+    }
+
+    /// The failure plan's injected-failure count so far.
+    pub fn failures_fired(&self) -> usize {
+        self.failures.fired_count()
+    }
+
+    /// Run for at most `max_steps` steps.
+    pub fn run(&mut self, max_steps: u64) -> RunReport {
+        let mut steps = 0u64;
+        let mut crashed = Vec::new();
+        let mut schedule: Option<Vec<Label>> = self.record.then(Vec::new);
+        let stop = loop {
+            if steps >= max_steps {
+                break StopReason::StepBudget;
+            }
+            let runnable = self.world.runnable();
+            if runnable.is_empty() {
+                break StopReason::Quiescent;
+            }
+            let p = self.sched.next(&runnable);
+            let ev = self.world.step(p);
+            steps += 1;
+            if let Some(s) = &mut schedule {
+                s.push(Label::Step(p));
+            }
+            self.observe(p, ev);
+            let newly_crashed = self.failures.poll(&mut self.world);
+            if let Some(s) = &mut schedule {
+                s.extend(newly_crashed.iter().map(|&c| Label::Crash(c)));
+            }
+            crashed.extend(newly_crashed);
+            if let Err(v) = check_safety(&self.world) {
+                return self.report(steps, StopReason::Violation, Some(v), crashed, schedule);
+            }
+        };
+        self.report(steps, stop, None, crashed, schedule)
+    }
+
+    /// Update RMR statistics from a step event.
+    fn observe(&mut self, p: Pid, ev: Event) {
+        let remote_now = self.world.mem.remote_refs(p);
+        let steps_now = self.world.procs[p].steps;
+        let contention = self.world.contention();
+        let s = self.stats.proc_mut(p);
+        match ev {
+            Event::BeganEntry => {
+                s.entry_base = remote_now;
+                s.entry_steps_base = steps_now;
+                s.in_flight = true;
+                s.peak_contention = s.peak_contention.max(contention);
+            }
+            Event::EnteredCs => {
+                if s.in_flight {
+                    s.entry_cost = remote_now - s.entry_base;
+                    s.wait_steps.record(steps_now - s.entry_steps_base);
+                    s.peak_contention = s.peak_contention.max(contention);
+                }
+            }
+            Event::BeganExit => {
+                if s.in_flight {
+                    s.exit_base = remote_now;
+                }
+            }
+            Event::CompletedCycle | Event::BecameDone => {
+                if s.in_flight {
+                    let exit_cost = remote_now - s.exit_base;
+                    s.entry.record(s.entry_cost);
+                    s.exit.record(exit_cost);
+                    s.pair.record(s.entry_cost + exit_cost);
+                    s.in_flight = false;
+                }
+            }
+            Event::Progress => {
+                if s.in_flight {
+                    s.peak_contention = s.peak_contention.max(contention);
+                }
+            }
+        }
+    }
+
+    fn report(
+        &self,
+        steps: u64,
+        stop: StopReason,
+        violation: Option<Violation>,
+        crashed: Vec<Pid>,
+        schedule: Option<Vec<Label>>,
+    ) -> RunReport {
+        RunReport {
+            steps,
+            stop,
+            violation,
+            stats: self.stats.clone(),
+            completed: self.world.procs.iter().map(|p| p.completed).collect(),
+            crashed,
+            schedule,
+        }
+    }
+}
+
+/// Builder returned by [`Sim::new`].
+pub struct SimBuilder {
+    protocol: Arc<Protocol>,
+    model: MemoryModel,
+    timing: Timing,
+    cycles: Option<u64>,
+    sched: Option<Box<dyn Scheduler>>,
+    failures: FailurePlan,
+    participants: Option<Vec<Pid>>,
+    record: bool,
+}
+
+impl SimBuilder {
+    /// Set noncritical/critical dwell times.
+    pub fn timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Run each participating process for exactly `cycles` acquisitions.
+    pub fn cycles(mut self, cycles: u64) -> Self {
+        self.cycles = Some(cycles);
+        self
+    }
+
+    /// Use a custom scheduler (default: [`RoundRobin`]).
+    pub fn scheduler(mut self, sched: impl Scheduler + 'static) -> Self {
+        self.sched = Some(Box::new(sched));
+        self
+    }
+
+    /// Install a failure plan.
+    pub fn failures(mut self, failures: FailurePlan) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Only these processes participate; the rest never leave their
+    /// noncritical sections. This is how experiments cap *contention*.
+    pub fn participants(mut self, pids: impl IntoIterator<Item = Pid>) -> Self {
+        self.participants = Some(pids.into_iter().collect());
+        self
+    }
+
+    /// Record the exact transition sequence into
+    /// [`RunReport::schedule`], so a surprising run can be replayed and
+    /// rendered with [`crate::replay::replay_with`].
+    pub fn record_schedule(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Finish configuration.
+    pub fn build(self) -> Sim {
+        let n = self.protocol.n();
+        let mut world = World::new(self.protocol, self.model, self.timing, self.cycles);
+        if let Some(parts) = &self.participants {
+            world.restrict_participants(parts);
+        }
+        Sim {
+            world,
+            sched: self.sched.unwrap_or_else(|| Box::new(RoundRobin::new())),
+            failures: self.failures,
+            stats: Stats::new(n),
+            record: self.record,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SkipNode;
+    use crate::protocol::ProtocolBuilder;
+
+    fn skip_protocol(n: usize, k: usize) -> Arc<Protocol> {
+        let mut b = ProtocolBuilder::new(n);
+        let root = b.add(SkipNode);
+        b.finish(root, k)
+    }
+
+    #[test]
+    fn bounded_cycles_reach_quiescence() {
+        // Only 3 of the 4 processes contend, so the skip root stays within
+        // the k = 3 bound.
+        let mut sim = Sim::new(skip_protocol(4, 3), MemoryModel::CacheCoherent)
+            .cycles(5)
+            .participants([0, 1, 2])
+            .build();
+        let report = sim.run(10_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(report.completed, vec![5, 5, 5, 0]);
+        assert_eq!(report.stats.acquisitions(), 15);
+    }
+
+    #[test]
+    fn skip_root_with_small_k_is_caught_by_the_checker() {
+        // SkipNode enforces nothing; with k = 1 and 4 eager processes the
+        // checker must fire. Confirms end-to-end violation reporting.
+        let mut sim = Sim::new(skip_protocol(4, 1), MemoryModel::CacheCoherent).build();
+        let report = sim.run(10_000);
+        assert_eq!(report.stop, StopReason::Violation);
+        assert!(matches!(
+            report.violation,
+            Some(Violation::TooManyInCritical { .. })
+        ));
+    }
+
+    #[test]
+    fn participants_cap_contention() {
+        let mut sim = Sim::new(skip_protocol(8, 7), MemoryModel::CacheCoherent)
+            .cycles(3)
+            .participants([0, 5])
+            .build();
+        let report = sim.run(10_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(report.completed[0], 3);
+        assert_eq!(report.completed[5], 3);
+        assert_eq!(report.completed[1], 0);
+        assert!(report.stats.peak_contention() <= 2);
+    }
+
+    #[test]
+    fn step_budget_stops_unbounded_runs() {
+        let mut sim = Sim::new(skip_protocol(2, 1), MemoryModel::Dsm)
+            .participants([0])
+            .build();
+        let report = sim.run(100);
+        assert_eq!(report.stop, StopReason::StepBudget);
+        assert_eq!(report.steps, 100);
+    }
+}

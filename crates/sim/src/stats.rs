@@ -1,0 +1,298 @@
+//! Remote-memory-reference statistics, aggregated per critical-section
+//! acquisition.
+//!
+//! The paper's complexity measure: "Suppose that each matching entry and
+//! exit section of an algorithm together generate at most `t` remote
+//! references if executed while contention is at most `c`. We say that
+//! such an algorithm has time complexity `t` if contention is at most
+//! `c`." (§2). [`Stats`] records, for every completed acquisition, the
+//! remote references of its entry section, of its exit section, and of the
+//! matching pair, so experiment harnesses can report worst-case and mean
+//! values against the theorem bounds.
+
+use crate::types::Pid;
+
+/// Number of power-of-two buckets in an [`Aggregate`]'s histogram.
+/// Bucket `i` counts samples whose bit-length is `i`, i.e. values in
+/// `[2^(i-1) .. 2^i - 1]` (bucket 0 holds exactly the zeros); the last
+/// bucket absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Aggregate of a stream of per-acquisition remote-reference counts,
+/// with a log2-bucketed histogram for distribution shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aggregate {
+    /// Number of samples (acquisitions).
+    pub count: u64,
+    /// Sum of remote references over all samples.
+    pub total: u64,
+    /// Worst observed sample.
+    pub max: u64,
+    /// Log2 histogram of samples (see [`HISTOGRAM_BUCKETS`]).
+    pub histogram: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Aggregate {
+    fn default() -> Self {
+        Aggregate {
+            count: 0,
+            total: 0,
+            max: 0,
+            histogram: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Aggregate {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        self.count += 1;
+        self.total += sample;
+        self.max = self.max.max(sample);
+        self.histogram[Self::bucket(sample)] += 1;
+    }
+
+    /// Histogram bucket index of a sample.
+    #[inline]
+    fn bucket(sample: u64) -> usize {
+        let bits = 64 - sample.leading_zeros() as usize; // 0 -> 0, 1 -> 1
+        bits.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean remote references per sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of the samples
+    /// fall in `v`'s bucket or below — a bucketed quantile, exact only
+    /// up to the histogram's power-of-two resolution.
+    pub fn quantile_bucket_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let want = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.histogram.iter().enumerate() {
+            seen += c;
+            if seen >= want {
+                return (1u64 << i) - 1;
+            }
+        }
+        self.max
+    }
+
+    /// Merge another aggregate into this one.
+    pub fn merge(&mut self, other: &Aggregate) {
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.histogram.iter_mut().zip(other.histogram.iter()) {
+            *a += b;
+        }
+    }
+
+    /// A compact one-line rendering of the histogram, e.g.
+    /// `≤1:12 ≤2:30 ≤4:7`, skipping empty buckets.
+    pub fn render_histogram(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.histogram.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let upper = (1u64 << i) - 1;
+            out.push_str(&format!("<={upper}:{c}"));
+        }
+        if out.is_empty() {
+            out.push_str("(empty)");
+        }
+        out
+    }
+}
+
+/// Per-process acquisition statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ProcStats {
+    /// Remote references of entry sections alone.
+    pub entry: Aggregate,
+    /// Remote references of exit sections alone.
+    pub exit: Aggregate,
+    /// Remote references of matching entry+exit pairs — the paper's `t`.
+    pub pair: Aggregate,
+    /// Own-steps spent in the entry section per acquisition (waiting
+    /// time; spins count one step per iteration). Used for fairness
+    /// analysis — RMRs deliberately do *not* count local spinning.
+    pub wait_steps: Aggregate,
+    /// Peak contention observed at any point during this process's entry
+    /// sections (context for "complexity if contention is at most c").
+    pub peak_contention: usize,
+    // In-flight bookkeeping:
+    pub(crate) entry_base: u64,
+    pub(crate) exit_base: u64,
+    pub(crate) entry_cost: u64,
+    pub(crate) entry_steps_base: u64,
+    pub(crate) in_flight: bool,
+}
+
+/// Statistics for a whole simulation run.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    per_proc: Vec<ProcStats>,
+}
+
+impl Stats {
+    /// Fresh statistics for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Stats {
+            per_proc: (0..n).map(|_| ProcStats::default()).collect(),
+        }
+    }
+
+    /// Statistics of process `p`.
+    pub fn proc(&self, p: Pid) -> &ProcStats {
+        &self.per_proc[p]
+    }
+
+    pub(crate) fn proc_mut(&mut self, p: Pid) -> &mut ProcStats {
+        &mut self.per_proc[p]
+    }
+
+    /// Entry+exit pair aggregate over all processes.
+    pub fn pair(&self) -> Aggregate {
+        let mut out = Aggregate::default();
+        for s in &self.per_proc {
+            out.merge(&s.pair);
+        }
+        out
+    }
+
+    /// Entry-section aggregate over all processes.
+    pub fn entry(&self) -> Aggregate {
+        let mut out = Aggregate::default();
+        for s in &self.per_proc {
+            out.merge(&s.entry);
+        }
+        out
+    }
+
+    /// Exit-section aggregate over all processes.
+    pub fn exit(&self) -> Aggregate {
+        let mut out = Aggregate::default();
+        for s in &self.per_proc {
+            out.merge(&s.exit);
+        }
+        out
+    }
+
+    /// Worst entry+exit remote-reference count over all acquisitions of
+    /// all processes — the empirical counterpart of a theorem bound.
+    pub fn worst_pair(&self) -> u64 {
+        self.pair().max
+    }
+
+    /// Entry-section waiting time (own steps) over all processes.
+    pub fn wait_steps(&self) -> Aggregate {
+        let mut out = Aggregate::default();
+        for s in &self.per_proc {
+            out.merge(&s.wait_steps);
+        }
+        out
+    }
+
+    /// Total completed acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.pair().count
+    }
+
+    /// Largest contention seen during any recorded entry section.
+    pub fn peak_contention(&self) -> usize {
+        self.per_proc
+            .iter()
+            .map(|s| s.peak_contention)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_tracks_count_total_max() {
+        let mut a = Aggregate::default();
+        a.record(3);
+        a.record(7);
+        a.record(5);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total, 15);
+        assert_eq!(a.max, 7);
+        assert!((a.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut a = Aggregate::default();
+        for v in [0u64, 1, 2, 3, 4, 5, 8, 9, 1_000_000_000_000] {
+            a.record(v);
+        }
+        assert_eq!(a.histogram[0], 1); // 0
+        assert_eq!(a.histogram[1], 1); // 1
+        assert_eq!(a.histogram[2], 2); // 2, 3
+        assert_eq!(a.histogram[3], 2); // 4, 5
+        assert_eq!(a.histogram[4], 2); // 8, 9
+        assert_eq!(a.histogram[HISTOGRAM_BUCKETS - 1], 1); // the huge one
+        let rendered = a.render_histogram();
+        assert!(rendered.contains("<=1:1"), "{rendered}");
+        assert!(rendered.contains("<=3:2"), "{rendered}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut a = Aggregate::default();
+        for v in 0..100u64 {
+            a.record(v);
+        }
+        let q50 = a.quantile_bucket_upper(0.5);
+        let q99 = a.quantile_bucket_upper(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 <= 127); // bucket upper bound above 99
+        assert_eq!(Aggregate::default().quantile_bucket_upper(0.5), 0);
+    }
+
+    #[test]
+    fn merged_histograms_add_bucketwise() {
+        let mut a = Aggregate::default();
+        a.record(2);
+        let mut b = Aggregate::default();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.histogram[2], 2);
+        assert_eq!(a.count, 2);
+    }
+
+    #[test]
+    fn merge_combines_streams() {
+        let mut a = Aggregate::default();
+        a.record(2);
+        let mut b = Aggregate::default();
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.max, 9);
+        assert_eq!(a.total, 11);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(Aggregate::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fundamental identifier and value types shared across the simulator.
+
+use std::fmt;
+
+/// A process identifier, `0..N`.
+///
+/// The paper assumes a fixed set of `N` asynchronous processes with known,
+/// distinct identifiers; we mirror that with dense indices.
+pub type Pid = usize;
+
+/// The value type of every simulated shared variable and local variable.
+///
+/// All of the paper's variables (counters, process ids, booleans, and
+/// `loctype` records) are encoded into this single word type; see
+/// [`crate::mem::MemCtx`] for the access primitives.
+pub type Word = i64;
+
+/// Identifies a shared variable allocated in a [`crate::vars::VarTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The dense index of this variable within its table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifies an algorithm node (one `Acquire`/`Release` module instance)
+/// within a [`crate::protocol::Protocol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node within its protocol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Which section of a node a process is executing.
+///
+/// Every node implements the paper's process template: a process repeatedly
+/// passes through its *entry section* before the critical section and its
+/// *exit section* after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// The entry section (`Acquire` in the paper's figures).
+    Entry,
+    /// The exit section (`Release` in the paper's figures).
+    Exit,
+}
+
+impl Section {
+    /// A compact tag used when encoding explorer states.
+    #[inline]
+    pub(crate) fn tag(self) -> Word {
+        match self {
+            Section::Entry => 0,
+            Section::Exit => 1,
+        }
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::Entry => f.write_str("entry"),
+            Section::Exit => f.write_str("exit"),
+        }
+    }
+}
+
+/// The outcome of executing one atomic statement of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Continue within the same section at the given program counter.
+    Goto(u32),
+    /// Invoke a child node's section (a nested `Acquire(..)`/`Release(..)`),
+    /// resuming at `ret` in the current frame once the child returns.
+    Call {
+        /// The child node to execute.
+        child: NodeId,
+        /// Which of the child's sections to run.
+        section: Section,
+        /// Program counter to resume at in the calling frame.
+        ret: u32,
+    },
+    /// The current section is complete.
+    Return,
+}

@@ -1,0 +1,146 @@
+//! Static shared-variable metadata: names, owners, and initial values.
+//!
+//! Variables are allocated once, while an algorithm [`crate::node::Node`]
+//! tree is being built, into a [`VarTable`]. The table is immutable during
+//! simulation; the mutable value/cache state lives in
+//! [`crate::mem::MemState`], which is cheap to clone (a requirement of the
+//! model checker in [`crate::explore`]).
+
+use crate::types::{Pid, VarId, Word};
+
+/// Static description of one shared variable.
+#[derive(Debug, Clone)]
+pub struct VarSpec {
+    /// Diagnostic name, e.g. `"fig2[3].X"`.
+    pub name: String,
+    /// DSM owner: the process in whose memory partition the variable
+    /// lives. `None` means a globally-homed variable that is remote to
+    /// every process under the DSM model (e.g. the paper's `X` and `Q`).
+    pub owner: Option<Pid>,
+    /// Initial value.
+    pub init: Word,
+}
+
+/// The table of all shared variables of a protocol.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    specs: Vec<VarSpec>,
+}
+
+impl VarTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a globally-homed shared variable (remote to every process
+    /// under DSM).
+    pub fn alloc(&mut self, name: impl Into<String>, init: Word) -> VarId {
+        self.alloc_spec(VarSpec {
+            name: name.into(),
+            owner: None,
+            init,
+        })
+    }
+
+    /// Allocate a variable homed in process `owner`'s memory partition.
+    ///
+    /// Under the DSM model only `owner` accesses it locally; under the CC
+    /// model ownership is ignored (locality is decided by caching).
+    pub fn alloc_local(&mut self, name: impl Into<String>, owner: Pid, init: Word) -> VarId {
+        self.alloc_spec(VarSpec {
+            name: name.into(),
+            owner: Some(owner),
+            init,
+        })
+    }
+
+    /// Allocate an array of `len` globally-homed variables; returns the id
+    /// of element 0 (elements are contiguous).
+    pub fn alloc_array(&mut self, name: &str, len: usize, init: Word) -> VarId {
+        assert!(len > 0, "zero-length shared array");
+        let base = self.alloc(format!("{name}[0]"), init);
+        for i in 1..len {
+            self.alloc(format!("{name}[{i}]"), init);
+        }
+        base
+    }
+
+    fn alloc_spec(&mut self, spec: VarSpec) -> VarId {
+        let id = VarId(u32::try_from(self.specs.len()).expect("too many shared variables"));
+        self.specs.push(spec);
+        id
+    }
+
+    /// Number of variables allocated.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` iff no variables have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Static description of `v`.
+    pub fn spec(&self, v: VarId) -> &VarSpec {
+        &self.specs[v.index()]
+    }
+
+    /// Look a variable up by its diagnostic name (first match).
+    ///
+    /// Intended for tests and experiment harnesses that want to peek at a
+    /// protocol's internal variables.
+    pub fn find(&self, name: &str) -> Option<VarId> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Iterate over `(id, spec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarSpec)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (VarId(i as u32), s))
+    }
+}
+
+/// Offset a base [`VarId`] returned by [`VarTable::alloc_array`] (or a run
+/// of consecutive `alloc` calls) by `i` elements.
+///
+/// # Panics
+/// Does not itself panic, but using an id past the end of the underlying
+/// array will panic at access time inside [`crate::mem::MemState`].
+#[inline]
+pub fn at(base: VarId, i: usize) -> VarId {
+    VarId(base.0 + i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_dense_ids_and_keeps_specs() {
+        let mut t = VarTable::new();
+        let x = t.alloc("X", 3);
+        let q = t.alloc_local("Q", 2, 0);
+        assert_eq!(x.index(), 0);
+        assert_eq!(q.index(), 1);
+        assert_eq!(t.spec(x).init, 3);
+        assert_eq!(t.spec(q).owner, Some(2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn arrays_are_contiguous() {
+        let mut t = VarTable::new();
+        let _pad = t.alloc("pad", 0);
+        let a = t.alloc_array("A", 4, 7);
+        assert_eq!(at(a, 3).index(), a.index() + 3);
+        assert_eq!(t.spec(at(a, 3)).name, "A[3]");
+        assert_eq!(t.spec(at(a, 3)).init, 7);
+    }
+}

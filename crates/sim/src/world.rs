@@ -1,0 +1,435 @@
+//! The complete simulated world: protocol + memory + processes, advanced
+//! one atomic step at a time.
+//!
+//! [`World`] is the single stepping engine shared by the statistics-
+//! gathering simulator ([`crate::sim::Sim`]) and the exhaustive model
+//! checker ([`crate::explore`]): both decide *which* process moves; the
+//! world decides *what happens* when it moves.
+
+use std::sync::Arc;
+
+use crate::memmodel::MemoryModel;
+use crate::mem::MemState;
+use crate::process::{Frame, Phase, ProcState};
+use crate::protocol::Protocol;
+use crate::types::{Pid, Section, Step, Word};
+
+/// How long (in own-steps) processes dwell in their noncritical and
+/// critical sections.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timing {
+    /// Steps spent in the noncritical section between cycles.
+    pub ncs_steps: u32,
+    /// Steps spent inside the critical section.
+    pub cs_steps: u32,
+}
+
+/// What a single process step did, as observed by checkers and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An ordinary statement inside a section, or noncritical/critical
+    /// dwell time passing.
+    Progress,
+    /// The process started its entry section this step.
+    BeganEntry,
+    /// The process completed its entry section and is now critical.
+    EnteredCs,
+    /// The process left the critical section and began its exit section.
+    BeganExit,
+    /// The process completed its exit section (one full cycle done).
+    CompletedCycle,
+    /// The process has no more cycles to run.
+    BecameDone,
+}
+
+/// Protocol + memory + process states: everything that evolves.
+#[derive(Clone)]
+pub struct World {
+    /// The immutable protocol being executed.
+    pub protocol: Arc<Protocol>,
+    /// The memory model in force (decides RMR accounting only).
+    pub model: MemoryModel,
+    /// Shared-memory state.
+    pub mem: MemState,
+    /// One state per process, indexed by pid.
+    pub procs: Vec<ProcState>,
+    /// Section dwell times.
+    pub timing: Timing,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("model", &self.model)
+            .field("protocol", &self.protocol)
+            .field("procs", &self.procs.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Create a world in which every process runs `cycles` entry→exit
+    /// cycles (`None` = forever).
+    pub fn new(
+        protocol: Arc<Protocol>,
+        model: MemoryModel,
+        timing: Timing,
+        cycles: Option<u64>,
+    ) -> Self {
+        let n = protocol.n();
+        let mem = MemState::new(protocol.vars(), n);
+        let procs = (0..n)
+            .map(|p| ProcState::new(p, protocol.fresh_locals(p), cycles, timing.ncs_steps))
+            .collect();
+        World {
+            protocol,
+            model,
+            mem,
+            procs,
+            timing,
+        }
+    }
+
+    /// Restrict participation: processes not in `participants` are marked
+    /// [`Phase::Done`] immediately (they stay in their noncritical section
+    /// forever, contributing zero contention).
+    pub fn restrict_participants(&mut self, participants: &[Pid]) {
+        for proc in &mut self.procs {
+            if !participants.contains(&proc.pid) {
+                proc.phase = Phase::Done;
+                proc.cycles_left = Some(0);
+            }
+        }
+    }
+
+    /// Ids of processes the scheduler may pick.
+    pub fn runnable(&self) -> Vec<Pid> {
+        self.procs
+            .iter()
+            .filter(|p| p.runnable())
+            .map(|p| p.pid)
+            .collect()
+    }
+
+    /// Number of processes currently inside their critical sections.
+    pub fn critical_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.phase.in_critical()).count()
+    }
+
+    /// Number of processes outside their noncritical sections — the
+    /// paper's *contention*.
+    pub fn contention(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| p.phase.is_contending())
+            .count()
+    }
+
+    /// The name process `p` currently holds, if the root node assigns
+    /// names and `p` has completed its entry section.
+    pub fn held_name(&self, p: Pid) -> Option<Word> {
+        let root = self.protocol.root();
+        let off = self.protocol.locals_offset(root);
+        let len = self.protocol.locals_len(root);
+        self.protocol
+            .node(root)
+            .acquired_name(&self.procs[p].locals[off..off + len])
+    }
+
+    /// Crash-fail process `p`: it takes no further steps, wherever it is.
+    pub fn fail(&mut self, p: Pid) {
+        self.procs[p].failed = true;
+    }
+
+    /// Advance process `p` by one atomic step.
+    ///
+    /// # Panics
+    /// Panics if `p` is not runnable (failed or done): schedulers must
+    /// only pick runnable processes.
+    pub fn step(&mut self, p: Pid) -> Event {
+        assert!(self.procs[p].runnable(), "stepped a non-runnable process {p}");
+        self.procs[p].steps += 1;
+        match self.procs[p].phase {
+            Phase::Noncritical { remaining } => {
+                if remaining > 0 {
+                    self.procs[p].phase = Phase::Noncritical {
+                        remaining: remaining - 1,
+                    };
+                    Event::Progress
+                } else {
+                    // Begin the entry section: push the root frame. The
+                    // step that starts the entry performs no memory
+                    // access; the first statement runs on p's next step.
+                    self.procs[p].stack.push(Frame {
+                        node: self.protocol.root(),
+                        section: Section::Entry,
+                        pc: 0,
+                    });
+                    self.procs[p].phase = Phase::Entry;
+                    Event::BeganEntry
+                }
+            }
+            Phase::Entry => {
+                self.exec_statement(p);
+                if self.procs[p].stack.is_empty() {
+                    self.procs[p].phase = Phase::Critical {
+                        remaining: self.timing.cs_steps,
+                    };
+                    Event::EnteredCs
+                } else {
+                    Event::Progress
+                }
+            }
+            Phase::Critical { remaining } => {
+                if remaining > 0 {
+                    self.procs[p].phase = Phase::Critical {
+                        remaining: remaining - 1,
+                    };
+                    Event::Progress
+                } else {
+                    self.procs[p].stack.push(Frame {
+                        node: self.protocol.root(),
+                        section: Section::Exit,
+                        pc: 0,
+                    });
+                    self.procs[p].phase = Phase::Exit;
+                    Event::BeganExit
+                }
+            }
+            Phase::Exit => {
+                self.exec_statement(p);
+                if self.procs[p].stack.is_empty() {
+                    let proc = &mut self.procs[p];
+                    proc.completed += 1;
+                    if let Some(c) = &mut proc.cycles_left {
+                        *c -= 1;
+                        if *c == 0 {
+                            proc.phase = Phase::Done;
+                            return Event::BecameDone;
+                        }
+                    }
+                    proc.phase = Phase::Noncritical {
+                        remaining: self.timing.ncs_steps,
+                    };
+                    Event::CompletedCycle
+                } else {
+                    Event::Progress
+                }
+            }
+            Phase::Done => unreachable!("done processes are not runnable"),
+        }
+    }
+
+    /// Execute one statement of the top frame of `p`'s stack.
+    fn exec_statement(&mut self, p: Pid) {
+        let frame = *self.procs[p]
+            .stack
+            .last()
+            .expect("entry/exit phase with empty stack");
+        let node = self.protocol.node(frame.node);
+        let off = self.protocol.locals_offset(frame.node);
+        let len = self.protocol.locals_len(frame.node);
+
+        let step = {
+            let proc = &mut self.procs[p];
+            let locals = &mut proc.locals[off..off + len];
+            let mut ctx = self.mem.ctx(self.protocol.vars(), self.model, p);
+            node.step(frame.section, frame.pc, locals, &mut ctx)
+        };
+
+        let stack = &mut self.procs[p].stack;
+        match step {
+            Step::Goto(pc) => stack.last_mut().unwrap().pc = pc,
+            Step::Call {
+                child,
+                section,
+                ret,
+            } => {
+                stack.last_mut().unwrap().pc = ret;
+                stack.push(Frame {
+                    node: child,
+                    section,
+                    pc: 0,
+                });
+            }
+            Step::Return => {
+                stack.pop();
+            }
+        }
+    }
+
+    /// Encode the behaviorally relevant state (for the model checker):
+    /// shared values + every process's phase/stack/locals. Cache holder
+    /// sets and RMR counters are excluded — they never influence control
+    /// flow.
+    pub fn encode(&self) -> Vec<Word> {
+        let mut out = Vec::with_capacity(self.mem.values().len() + self.procs.len() * 8);
+        out.extend_from_slice(self.mem.values());
+        for p in &self.procs {
+            p.encode(&mut out);
+        }
+        out
+    }
+
+    /// Rebuild a world from an [`World::encode`]d state. Statistics
+    /// (RMR counters, completed-cycle counts) restart from zero.
+    ///
+    /// # Panics
+    /// Panics if `words` is not a valid encoding for this protocol.
+    pub fn decode(
+        protocol: Arc<Protocol>,
+        model: MemoryModel,
+        timing: Timing,
+        words: &[Word],
+    ) -> Self {
+        let nvars = protocol.vars().len();
+        let n = protocol.n();
+        let mem = MemState::restore(words[..nvars].to_vec(), n);
+        let mut idx = nvars;
+        let mut procs = Vec::with_capacity(n);
+        for pid in 0..n {
+            let (tag, arg) = (words[idx], words[idx + 1]);
+            idx += 2;
+            let phase = match (tag, arg) {
+                (0, r) => Phase::Noncritical { remaining: r as u32 },
+                (1, _) => Phase::Entry,
+                (2, r) => Phase::Critical { remaining: r as u32 },
+                (3, _) => Phase::Exit,
+                (4, _) => Phase::Done,
+                (tag, _) => panic!("bad phase tag {tag}"),
+            };
+            let failed = words[idx] != 0;
+            idx += 1;
+            let cycles_left = match words[idx] {
+                -1 => None,
+                c => Some(c as u64),
+            };
+            idx += 1;
+            let stack_len = words[idx] as usize;
+            idx += 1;
+            let mut stack = Vec::with_capacity(stack_len);
+            for _ in 0..stack_len {
+                let node = crate::types::NodeId(words[idx] as u32);
+                let section = if words[idx + 1] == 0 {
+                    Section::Entry
+                } else {
+                    Section::Exit
+                };
+                let pc = words[idx + 2] as u32;
+                idx += 3;
+                stack.push(Frame { node, section, pc });
+            }
+            let total = protocol.locals_total();
+            let locals = words[idx..idx + total].to_vec();
+            idx += total;
+            procs.push(ProcState {
+                pid,
+                phase,
+                stack,
+                locals,
+                cycles_left,
+                failed,
+                completed: 0,
+                steps: 0,
+            });
+        }
+        assert_eq!(idx, words.len(), "trailing words in encoded state");
+        World {
+            protocol,
+            model,
+            mem,
+            procs,
+            timing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SkipNode;
+    use crate::protocol::ProtocolBuilder;
+
+    fn skip_world(n: usize, cycles: Option<u64>) -> World {
+        let mut b = ProtocolBuilder::new(n);
+        let root = b.add(SkipNode);
+        let p = b.finish(root, n - 1);
+        World::new(p, MemoryModel::CacheCoherent, Timing::default(), cycles)
+    }
+
+    #[test]
+    fn a_process_cycles_through_all_phases() {
+        let mut w = skip_world(2, Some(1));
+        assert_eq!(w.step(0), Event::BeganEntry);
+        assert_eq!(w.step(0), Event::EnteredCs); // skip's entry = 1 statement
+        assert!(w.procs[0].phase.in_critical());
+        assert_eq!(w.critical_count(), 1);
+        assert_eq!(w.step(0), Event::BeganExit);
+        assert_eq!(w.step(0), Event::BecameDone);
+        assert_eq!(w.procs[0].completed, 1);
+        assert!(!w.procs[0].runnable());
+    }
+
+    #[test]
+    fn dwell_times_hold_processes_in_sections() {
+        let mut b = ProtocolBuilder::new(2);
+        let root = b.add(SkipNode);
+        let p = b.finish(root, 1);
+        let timing = Timing {
+            ncs_steps: 2,
+            cs_steps: 3,
+        };
+        let mut w = World::new(p, MemoryModel::Dsm, timing, Some(1));
+        assert_eq!(w.step(0), Event::Progress); // ncs 2 -> 1
+        assert_eq!(w.step(0), Event::Progress); // ncs 1 -> 0
+        assert_eq!(w.step(0), Event::BeganEntry);
+        assert_eq!(w.step(0), Event::EnteredCs);
+        for _ in 0..3 {
+            assert_eq!(w.step(0), Event::Progress); // cs dwell
+        }
+        assert_eq!(w.step(0), Event::BeganExit);
+        assert_eq!(w.step(0), Event::BecameDone);
+    }
+
+    #[test]
+    fn restricting_participants_silences_processes() {
+        let mut w = skip_world(4, None);
+        w.restrict_participants(&[1, 2]);
+        assert_eq!(w.runnable(), vec![1, 2]);
+    }
+
+    #[test]
+    fn failed_process_takes_no_steps() {
+        let mut w = skip_world(2, None);
+        w.step(1); // p1 begins entry
+        w.fail(1);
+        assert_eq!(w.runnable(), vec![0]);
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_ignores_rmr_state() {
+        let w1 = skip_world(3, None);
+        let w2 = skip_world(3, None);
+        assert_eq!(w1.encode(), w2.encode());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_mid_execution() {
+        let mut w = skip_world(3, Some(5));
+        w.step(0); // p0 in entry
+        w.step(1);
+        w.step(1); // p1 critical
+        w.fail(2);
+        let enc = w.encode();
+        let w2 = World::decode(
+            w.protocol.clone(),
+            w.model,
+            w.timing,
+            &enc,
+        );
+        assert_eq!(w2.encode(), enc);
+        assert_eq!(w2.procs[1].phase, w.procs[1].phase);
+        assert!(w2.procs[2].failed);
+        assert_eq!(w2.procs[0].stack, w.procs[0].stack);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the simulator substrate itself: state
+//! encode/decode round-trips, deterministic replay, scheduler fairness,
+//! and memory-model accounting laws.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use kex_sim::mem::MemCtx;
+use kex_sim::node::Node;
+use kex_sim::prelude::*;
+
+/// A little algorithm with enough state to stress the encoder: a ticket
+/// dispenser with a per-process scratch slot and a nested skip call.
+struct Ticketish {
+    counter: VarId,
+    slots: VarId,
+    child: NodeId,
+}
+
+impl Node for Ticketish {
+    fn name(&self) -> String {
+        "ticketish".into()
+    }
+
+    fn locals_len(&self) -> usize {
+        2
+    }
+
+    fn step(&self, sec: Section, pc: u32, locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step {
+        let p = mem.pid();
+        match (sec, pc) {
+            (Section::Entry, 0) => {
+                locals[0] = mem.fetch_and_increment(self.counter, 1);
+                Step::Goto(1)
+            }
+            (Section::Entry, 1) => Step::Call {
+                child: self.child,
+                section: Section::Entry,
+                ret: 2,
+            },
+            (Section::Entry, 2) => {
+                mem.write(kex_sim::vars::at(self.slots, p), locals[0] % 7);
+                Step::Return
+            }
+            (Section::Exit, 0) => {
+                locals[1] = mem.read(kex_sim::vars::at(self.slots, p));
+                Step::Return
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn ticketish_protocol(n: usize) -> Arc<Protocol> {
+    let mut b = ProtocolBuilder::new(n);
+    let counter = b.vars.alloc("counter", 0);
+    let slots = b.vars.alloc_array("slot", n, 0);
+    let child = b.add(SkipNode);
+    let root = b.add(Ticketish {
+        counter,
+        slots,
+        child,
+    });
+    b.finish(root, n - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(w)) re-encodes identically at every point of a
+    /// random execution.
+    #[test]
+    fn encode_decode_round_trips_anywhere(
+        n in 2usize..6,
+        steps in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let proto = ticketish_protocol(n);
+        let timing = Timing { ncs_steps: 1, cs_steps: 1 };
+        let mut w = World::new(proto.clone(), MemoryModel::CacheCoherent, timing, None);
+        let mut sched = RandomSched::new(seed);
+        for _ in 0..steps {
+            let runnable = w.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            let p = sched.next(&runnable);
+            w.step(p);
+        }
+        let enc = w.encode();
+        let w2 = World::decode(proto, MemoryModel::CacheCoherent, timing, &enc);
+        prop_assert_eq!(w2.encode(), enc);
+    }
+
+    /// The same seed yields the same execution, RMR counts included.
+    #[test]
+    fn seeded_runs_are_deterministic(
+        n in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut sim = Sim::new(ticketish_protocol(n), MemoryModel::Dsm)
+                .cycles(5)
+                .scheduler(RandomSched::new(seed))
+                .build();
+            let report = sim.run(100_000);
+            (
+                report.steps,
+                report.completed.clone(),
+                report.stats.pair().total,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Round-robin never lets any runnable process fall more than one
+    /// full rotation behind.
+    #[test]
+    fn round_robin_gap_is_bounded(n in 2usize..8, steps in 10usize..300) {
+        let mut sched = RoundRobin::new();
+        let runnable: Vec<Pid> = (0..n).collect();
+        let mut last_seen = vec![0usize; n];
+        for t in 1..=steps {
+            let p = sched.next(&runnable);
+            let gap = t - last_seen[p];
+            prop_assert!(gap <= n, "process {p} waited {gap} > {n} turns");
+            last_seen[p] = t;
+        }
+    }
+
+    /// CC accounting law: between two writes by others, a process pays at
+    /// most one remote read on a variable, no matter how often it reads.
+    #[test]
+    fn cc_reads_are_cached_between_invalidations(
+        reads in 1usize..50,
+        writers in 1usize..5,
+    ) {
+        let mut t = kex_sim::vars::VarTable::new();
+        let v = t.alloc("v", 0);
+        let mut m = kex_sim::mem::MemState::new(&t, 8);
+        for round in 0..writers {
+            {
+                let mut ctx = m.ctx(&t, MemoryModel::CacheCoherent, 7);
+                for _ in 0..reads {
+                    ctx.read(v);
+                }
+            }
+            let so_far = m.remote_refs(7);
+            prop_assert!(so_far as usize <= round + 1, "too many remote reads");
+            // Another process writes, invalidating p7's copy.
+            let mut ctx = m.ctx(&t, MemoryModel::CacheCoherent, (round % 6) as Pid);
+            ctx.write(v, round as Word);
+        }
+    }
+
+    /// DSM accounting law: the owner never pays, others always pay.
+    #[test]
+    fn dsm_owner_access_is_free(accesses in 1usize..60, owner in 0usize..4) {
+        let mut t = kex_sim::vars::VarTable::new();
+        let v = t.alloc_local("v", owner, 0);
+        let mut m = kex_sim::mem::MemState::new(&t, 4);
+        for i in 0..accesses {
+            let mut ctx = m.ctx(&t, MemoryModel::Dsm, owner);
+            ctx.read(v);
+            ctx.write(v, i as Word);
+        }
+        prop_assert_eq!(m.remote_refs(owner), 0);
+        let stranger = (owner + 1) % 4;
+        {
+            let mut ctx = m.ctx(&t, MemoryModel::Dsm, stranger);
+            ctx.read(v);
+            ctx.write(v, 0);
+        }
+        prop_assert_eq!(m.remote_refs(stranger), 2);
+    }
+}

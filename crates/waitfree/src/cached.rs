@@ -1,0 +1,319 @@
+//! A resume-cached universal construction: same wait-free log as
+//! [`crate::universal::Universal`], without the O(history) replay per
+//! operation.
+//!
+//! The textbook construction recomputes its response by replaying the
+//! whole log from the sentinel — simple and obviously correct, but the
+//! per-operation cost grows without bound, which makes long-lived hot
+//! objects impractical. `CachedUniversal` keeps, per process name, the
+//! sequential state it had materialized after its previous operation
+//! plus the log node that state corresponds to; the next operation
+//! resumes the replay from there. Between two operations by the same
+//! process at most the *other* `k-1` processes (and helpers) appended,
+//! so the resume distance — and hence the amortized apply cost — is
+//! `O(k)` instead of `O(history)`.
+//!
+//! The cache is sound because the log is append-only and immutable once
+//! decided, and `S` is deterministic: replaying `cache.state` forward
+//! over the decided successors reproduces exactly the state the full
+//! replay would compute. Each per-name cache sits behind its own mutex;
+//! the k-assignment contract (one live holder per name) makes those
+//! locks uncontended, and helping never touches the caches, so
+//! wait-freedom of the threading loop is unaffected.
+//!
+//! The equivalence tests drive this and the textbook construction with
+//! identical operation streams and demand identical responses; the
+//! `waitfree` criterion bench shows the asymptotic difference.
+
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+use parking_lot_like::Mutex;
+
+use crate::consensus::PtrConsensus;
+use crate::seq::Sequential;
+
+/// Minimal internal mutex shim so this crate keeps its dependency set
+/// to crossbeam (std `Mutex` poisoning is noise here; we never panic
+/// while holding it, and even if we did, losing a cache is harmless).
+mod parking_lot_like {
+    /// `std::sync::Mutex` with poison-blind locking.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            match self.0.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            }
+        }
+    }
+}
+
+struct Node<S: Sequential> {
+    op: Option<S::Op>,
+    decide_next: PtrConsensus<Node<S>>,
+    seq: AtomicUsize,
+}
+
+impl<S: Sequential> Node<S> {
+    fn new(op: Option<S::Op>) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            op,
+            decide_next: PtrConsensus::new(),
+            seq: AtomicUsize::new(0),
+        }))
+    }
+}
+
+/// Per-name resume point: the materialized state *after* applying the
+/// log up to and including `node`.
+struct Cache<S: Sequential> {
+    node: *mut Node<S>,
+    state: S,
+}
+
+/// A linearizable `k`-process shared object with `O(k)` amortized
+/// operation cost (see module docs). Drop-in alternative to
+/// [`crate::universal::Universal`].
+///
+/// ```rust
+/// use kex_waitfree::seq::{QueueOp, SeqQueue};
+/// use kex_waitfree::CachedUniversal;
+///
+/// let q: CachedUniversal<SeqQueue<&str>> = CachedUniversal::new(2);
+/// q.apply(0, QueueOp::Enqueue("job"));
+/// assert_eq!(q.apply(1, QueueOp::Dequeue), Some("job"));
+/// ```
+pub struct CachedUniversal<S: Sequential + Clone> {
+    announce: Vec<std::sync::atomic::AtomicPtr<Node<S>>>,
+    head: Vec<std::sync::atomic::AtomicPtr<Node<S>>>,
+    caches: Vec<Mutex<Option<Cache<S>>>>,
+    tail: *mut Node<S>,
+    k: usize,
+}
+
+unsafe impl<S: Sequential + Clone> Send for CachedUniversal<S>
+where
+    S: Send,
+    S::Op: Send + Sync,
+{
+}
+unsafe impl<S: Sequential + Clone> Sync for CachedUniversal<S>
+where
+    S: Send,
+    S::Op: Send + Sync,
+{
+}
+
+impl<S: Sequential + Clone> std::fmt::Debug for CachedUniversal<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedUniversal").field("k", &self.k).finish()
+    }
+}
+
+impl<S: Sequential + Clone> CachedUniversal<S> {
+    /// A fresh object (state `S::default()`) for `k` processes.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one process");
+        use std::sync::atomic::AtomicPtr;
+        let tail = Node::new(None);
+        unsafe { (*tail).seq.store(1, SeqCst) };
+        CachedUniversal {
+            announce: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
+            head: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
+            caches: (0..k).map(|_| Mutex::new(None)).collect(),
+            tail,
+            k,
+        }
+    }
+
+    /// The process bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn max_head(&self) -> *mut Node<S> {
+        let mut best = self.tail;
+        let mut best_seq = unsafe { (*best).seq.load(SeqCst) };
+        for h in &self.head {
+            let node = h.load(SeqCst);
+            let seq = unsafe { (*node).seq.load(SeqCst) };
+            if seq > best_seq {
+                best = node;
+                best_seq = seq;
+            }
+        }
+        best
+    }
+
+    /// Apply `op` on behalf of name `me`; returns the linearized
+    /// response. Amortized `O(k)` sequential-apply work per call.
+    ///
+    /// # Panics
+    /// Panics if `me >= k`.
+    pub fn apply(&self, me: usize, op: S::Op) -> S::Resp {
+        assert!(me < self.k, "name {me} out of range 0..{}", self.k);
+        let mine = Node::new(Some(op));
+        self.announce[me].store(mine, SeqCst);
+        self.head[me].store(self.max_head(), SeqCst);
+
+        unsafe {
+            // Identical wait-free threading loop to `Universal`.
+            while (*mine).seq.load(SeqCst) == 0 {
+                let before = self.head[me].load(SeqCst);
+                let before_seq = (*before).seq.load(SeqCst);
+                let help = self.announce[before_seq % self.k].load(SeqCst);
+                let prefer = if (*help).seq.load(SeqCst) == 0 {
+                    help
+                } else {
+                    mine
+                };
+                let after = (*before).decide_next.decide(prefer);
+                (*after).seq.store(before_seq + 1, SeqCst);
+                self.head[me].store(after, SeqCst);
+            }
+            self.head[me].store(mine, SeqCst);
+
+            // Resume from this name's cache instead of the sentinel.
+            let mut guard = self.caches[me].lock();
+            let (mut cur, mut state) = match guard.take() {
+                Some(cache)
+                    if (*cache.node).seq.load(SeqCst) <= (*mine).seq.load(SeqCst) =>
+                {
+                    (cache.node, cache.state)
+                }
+                _ => (self.tail, S::default()),
+            };
+            // Walk the decided chain from `cur` (exclusive) to `mine`
+            // (inclusive), applying operations.
+            let mut resp = None;
+            while cur != mine {
+                let next = (*cur).decide_next.peek();
+                debug_assert!(!next.is_null(), "chain broken before our node");
+                let r = state.apply((*next).op.as_ref().expect("non-sentinel"));
+                if next == mine {
+                    resp = Some(r);
+                }
+                cur = next;
+            }
+            *guard = Some(Cache { node: mine, state });
+            resp.expect("our node is on the chain")
+        }
+    }
+}
+
+impl<S: Sequential + Clone> Drop for CachedUniversal<S> {
+    fn drop(&mut self) {
+        unsafe {
+            let mut cur = self.tail;
+            while !cur.is_null() {
+                let next = (*cur).decide_next.peek();
+                drop(Box::from_raw(cur));
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{CounterOp, QueueOp, SeqCounter, SeqQueue};
+    use crate::universal::Universal;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequential_equivalence_with_the_textbook_construction() {
+        let a: Universal<SeqQueue<u32>> = Universal::new(2);
+        let b: CachedUniversal<SeqQueue<u32>> = CachedUniversal::new(2);
+        let ops = [
+            QueueOp::Enqueue(1),
+            QueueOp::Enqueue(2),
+            QueueOp::Dequeue,
+            QueueOp::Enqueue(3),
+            QueueOp::Dequeue,
+            QueueOp::Dequeue,
+            QueueOp::Dequeue,
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let name = i % 2;
+            assert_eq!(a.apply(name, op.clone()), b.apply(name, op.clone()));
+        }
+    }
+
+    #[test]
+    fn counter_linearizes_concurrent_increments() {
+        let k = 4;
+        let per = 300;
+        let c: CachedUniversal<SeqCounter> = CachedUniversal::new(k);
+        std::thread::scope(|s| {
+            for name in 0..k {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..per {
+                        c.apply(name, CounterOp::Add(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.apply(0, CounterOp::Get), (k * per) as i64);
+    }
+
+    #[test]
+    fn queue_conserves_elements_under_concurrency() {
+        let k = 3;
+        let per = 150u32;
+        let q: CachedUniversal<SeqQueue<u32>> = CachedUniversal::new(k);
+        let popped: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|name| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        for i in 0..per {
+                            q.apply(name, QueueOp::Enqueue(name as u32 * 1000 + i));
+                            if let Some(v) = q.apply(name, QueueOp::Dequeue) {
+                                got.push(v);
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u32> = popped.into_iter().flatten().collect();
+        while let Some(v) = q.apply(0, QueueOp::Dequeue) {
+            all.push(v);
+        }
+        assert_eq!(all.len(), (k as u32 * per) as usize);
+        let distinct: HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len());
+    }
+
+    #[test]
+    fn long_log_stays_fast_enough_to_finish() {
+        // 20k operations through one object: quadratic replay would make
+        // this test crawl; the cache keeps it linear.
+        let c: CachedUniversal<SeqCounter> = CachedUniversal::new(2);
+        for i in 0..20_000 {
+            c.apply((i % 2) as usize, CounterOp::Add(1));
+        }
+        assert_eq!(c.apply(0, CounterOp::Get), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_foreign_names() {
+        let c: CachedUniversal<SeqCounter> = CachedUniversal::new(2);
+        c.apply(5, CounterOp::Get);
+    }
+}

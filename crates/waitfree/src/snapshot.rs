@@ -1,0 +1,249 @@
+//! A wait-free atomic snapshot object for `k` processes.
+//!
+//! The classic single-writer construction of Afek, Attiya, Dolev, Gafni,
+//! Merritt & Shavit: each process owns one register; an **update** embeds
+//! the result of a scan (its "view") alongside the new value and a
+//! sequence number; a **scan** performs repeated double collects, and if
+//! it sees some register change *twice*, it borrows that register's
+//! embedded view, which is guaranteed to have been taken entirely within
+//! the scan's interval. Hence every scan returns after at most `k+1`
+//! collects — wait-free — and all scans/updates linearize.
+//!
+//! Register cells are heap-allocated immutable records swapped in via
+//! `AtomicPtr` and reclaimed with epoch-based GC (`crossbeam_epoch`), so
+//! readers never dereference freed memory.
+//!
+//! Like everything in this crate, the object serves processes named
+//! `0..k` — the identities handed out by the k-assignment wrapper.
+
+use std::sync::atomic::Ordering::SeqCst;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
+
+/// One register's immutable cell.
+#[derive(Debug)]
+struct Cell<T> {
+    value: T,
+    seq: u64,
+    /// The writer's embedded scan (empty for the initial cell).
+    view: Vec<T>,
+}
+
+/// A `k`-process single-writer atomic snapshot object.
+///
+/// ```rust
+/// use kex_waitfree::Snapshot;
+///
+/// let snap: Snapshot<u64> = Snapshot::new(3);
+/// snap.update(1, 42); // process named 1 writes its own register
+/// assert_eq!(snap.scan(), vec![0, 42, 0]); // one coherent view
+/// ```
+#[derive(Debug)]
+pub struct Snapshot<T> {
+    regs: Vec<Atomic<Cell<T>>>,
+    k: usize,
+}
+
+impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
+    /// A snapshot object of `k` registers, all initially `T::default()`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one register");
+        Snapshot {
+            regs: (0..k)
+                .map(|_| {
+                    Atomic::new(Cell {
+                        value: T::default(),
+                        seq: 0,
+                        view: Vec::new(),
+                    })
+                })
+                .collect(),
+            k,
+        }
+    }
+
+    /// Number of registers / processes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Collect `(seq, value)` of every register (one pass, not atomic).
+    fn collect(&self, guard: &epoch::Guard) -> Vec<(u64, T)> {
+        self.regs
+            .iter()
+            .map(|r| {
+                let cell = unsafe { r.load(SeqCst, guard).deref() };
+                (cell.seq, cell.value.clone())
+            })
+            .collect()
+    }
+
+    /// Wait-free atomic scan: returns a vector `v` such that `v[i]` is
+    /// register `i`'s value at a single linearization point inside the
+    /// call.
+    pub fn scan(&self) -> Vec<T> {
+        let guard = epoch::pin();
+        let mut moved = vec![false; self.k];
+        let mut a = self.collect(&guard);
+        loop {
+            let b = self.collect(&guard);
+            let mut changed = None;
+            for i in 0..self.k {
+                if a[i].0 != b[i].0 {
+                    changed = Some(i);
+                    if moved[i] {
+                        // Register i changed twice during our scan: its
+                        // current embedded view was taken entirely within
+                        // our interval — borrow it.
+                        let cell = unsafe { self.regs[i].load(SeqCst, &guard).deref() };
+                        return cell.view.clone();
+                    }
+                    moved[i] = true;
+                }
+            }
+            match changed {
+                None => return b.into_iter().map(|(_, v)| v).collect(),
+                Some(_) => a = b,
+            }
+        }
+    }
+
+    /// Wait-free update of the caller's own register (`me` in `0..k`).
+    ///
+    /// # Panics
+    /// Panics if `me >= k`. Two concurrent updates with the same `me`
+    /// violate the single-writer contract.
+    pub fn update(&self, me: usize, value: T) {
+        assert!(me < self.k, "name {me} out of range 0..{}", self.k);
+        // Embed a fresh scan, as the algorithm requires.
+        let view = self.scan();
+        let guard = epoch::pin();
+        let old = self.regs[me].load(SeqCst, &guard);
+        let seq = unsafe { old.deref() }.seq + 1;
+        let new = Owned::new(Cell { value, seq, view });
+        let prev = self.regs[me].swap(new, SeqCst, &guard);
+        unsafe {
+            guard.defer_destroy(prev);
+        }
+    }
+
+    /// Read one register without a full scan (still linearizable for a
+    /// single register).
+    pub fn read(&self, i: usize) -> T {
+        assert!(i < self.k, "register {i} out of range 0..{}", self.k);
+        let guard = epoch::pin();
+        unsafe { self.regs[i].load(SeqCst, &guard).deref() }.value.clone()
+    }
+}
+
+impl<T> Drop for Snapshot<T> {
+    fn drop(&mut self) {
+        let guard = epoch::pin();
+        for r in &self.regs {
+            let p = r.swap(epoch::Shared::null(), SeqCst, &guard);
+            if !p.is_null() {
+                unsafe { guard.defer_destroy(p) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn scan_sees_updates() {
+        let s: Snapshot<u64> = Snapshot::new(3);
+        assert_eq!(s.scan(), vec![0, 0, 0]);
+        s.update(1, 42);
+        assert_eq!(s.scan(), vec![0, 42, 0]);
+        assert_eq!(s.read(1), 42);
+    }
+
+    #[test]
+    fn concurrent_scans_are_monotone_per_register() {
+        // Single-writer registers only grow (we write increasing values),
+        // so every scanned vector must be pointwise monotone over time
+        // from any one scanner's perspective.
+        let k = 3;
+        let s: Snapshot<u64> = Snapshot::new(k);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            for me in 0..k {
+                let (s, stop) = (&s, &stop);
+                sc.spawn(move || {
+                    for i in 1..=300u64 {
+                        s.update(me, i);
+                    }
+                    if me == 0 {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                });
+            }
+            let (s, stop) = (&s, &stop);
+            sc.spawn(move || {
+                let mut last = vec![0u64; k];
+                while !stop.load(Ordering::SeqCst) {
+                    let now = s.scan();
+                    for i in 0..k {
+                        assert!(
+                            now[i] >= last[i],
+                            "register {i} went backwards: {last:?} -> {now:?}"
+                        );
+                    }
+                    last = now;
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn snapshots_are_comparable_total_order() {
+        // Linearizability of scans implies any two scans are pointwise
+        // comparable when writers only increment their own register.
+        let k = 4;
+        let s: Snapshot<u64> = Snapshot::new(k);
+        let scans: Vec<Vec<Vec<u64>>> = std::thread::scope(|sc| {
+            let writers: Vec<_> = (0..k)
+                .map(|me| {
+                    let s = &s;
+                    sc.spawn(move || {
+                        for i in 1..=100u64 {
+                            s.update(me, i);
+                        }
+                    })
+                })
+                .collect();
+            let scanners: Vec<_> = (0..2)
+                .map(|_| {
+                    let s = &s;
+                    sc.spawn(move || (0..200).map(|_| s.scan()).collect::<Vec<_>>())
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            scanners.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<Vec<u64>> = scans.into_iter().flatten().collect();
+        all.sort();
+        for w in all.windows(2) {
+            let (x, y) = (&w[0], &w[1]);
+            assert!(
+                (0..k).all(|i| x[i] <= y[i]),
+                "incomparable snapshots {x:?} / {y:?}: scans not linearizable"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_rejects_foreign_names() {
+        Snapshot::<u8>::new(2).update(2, 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! A wait-free universal construction for `k` processes.
+//!
+//! This is the classic Herlihy construction: operations are *announced*,
+//! threaded onto a totally ordered log by winning (or being helped
+//! through) a CAS-based consensus per log cell, and responses are
+//! computed by deterministically replaying the log prefix. Helping makes
+//! it wait-free: a process that keeps losing consensus is eventually
+//! pointed to by `(seq + 1) mod k` and every active process proposes *its*
+//! announced node until it is threaded.
+//!
+//! This is exactly the kind of **wait-free k-process object** the paper's
+//! methodology presumes (§1): wrap a `Universal<S>` for `k` processes in
+//! a k-assignment wrapper (`kex_core::native::Resilient`) and the result
+//! is a `(k-1)`-resilient, `N`-process shared object that is effectively
+//! wait-free whenever contention stays at or below `k`.
+//!
+//! ## Costs and caveats
+//!
+//! * `apply` replays the whole log prefix to compute its response, so the
+//!   amortized cost grows with history length — faithful to the textbook
+//!   construction, fine for control-plane objects, wrong for hot
+//!   counters (use [`crate::counter::SlotCounter`] for those).
+//! * Log nodes are reclaimed when the `Universal` is dropped, not during
+//!   operation (the log is the object's history and must stay readable
+//!   by laggards).
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+
+use crate::consensus::PtrConsensus;
+use crate::seq::Sequential;
+
+/// One log cell: an announced operation plus the consensus machinery
+/// that threads it.
+struct Node<S: Sequential> {
+    /// The operation; `None` only for the sentinel.
+    op: Option<S::Op>,
+    /// Consensus on the successor cell. Also the authoritative `next`
+    /// pointer for traversal: it is set atomically at decision time, so
+    /// the chain from the sentinel to any threaded node is never broken
+    /// (a separate "next" field could lag behind the decision).
+    decide_next: PtrConsensus<Node<S>>,
+    /// Position in the log; 0 = not yet threaded, sentinel = 1.
+    seq: AtomicUsize,
+}
+
+impl<S: Sequential> Node<S> {
+    fn new(op: Option<S::Op>) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            op,
+            decide_next: PtrConsensus::new(),
+            seq: AtomicUsize::new(0),
+        }))
+    }
+}
+
+/// A linearizable, wait-free shared object for `k` processes, built from
+/// any deterministic [`Sequential`] specification.
+///
+/// Process identities are *names* in `0..k` — pass each operation the
+/// name of the calling process. Two concurrent calls with the same name
+/// are a logic error (the k-assignment wrapper rules them out by
+/// construction).
+///
+/// ```rust
+/// use kex_waitfree::seq::{CounterOp, SeqCounter};
+/// use kex_waitfree::Universal;
+///
+/// let counter: Universal<SeqCounter> = Universal::new(3);
+/// counter.apply(0, CounterOp::Add(5));
+/// counter.apply(2, CounterOp::Add(-2));
+/// assert_eq!(counter.apply(1, CounterOp::Get), 3);
+/// ```
+pub struct Universal<S: Sequential> {
+    announce: Vec<AtomicPtr<Node<S>>>,
+    head: Vec<AtomicPtr<Node<S>>>,
+    tail: *mut Node<S>,
+    k: usize,
+}
+
+// SAFETY: all shared mutable state is behind atomics; nodes are written
+// once (at creation) before being published and are immutable afterwards
+// except for their atomic fields. `S` itself is only materialized
+// thread-locally during replay.
+unsafe impl<S: Sequential> Send for Universal<S> where S::Op: Send + Sync {}
+unsafe impl<S: Sequential> Sync for Universal<S> where S::Op: Send + Sync {}
+
+impl<S: Sequential> std::fmt::Debug for Universal<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Universal").field("k", &self.k).finish()
+    }
+}
+
+impl<S: Sequential> Universal<S> {
+    /// A fresh object (state `S::default()`) for `k` processes.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one process");
+        let tail = Node::new(None);
+        // The sentinel occupies log position 1.
+        unsafe { (*tail).seq.store(1, SeqCst) };
+        Universal {
+            announce: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
+            head: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
+            tail,
+            k,
+        }
+    }
+
+    /// The process bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The node with the largest sequence number among the per-process
+    /// heads (every threaded node is reachable from it via `next`).
+    fn max_head(&self) -> *mut Node<S> {
+        let mut best = self.tail;
+        let mut best_seq = unsafe { (*best).seq.load(SeqCst) };
+        for h in &self.head {
+            let node = h.load(SeqCst);
+            let seq = unsafe { (*node).seq.load(SeqCst) };
+            if seq > best_seq {
+                best = node;
+                best_seq = seq;
+            }
+        }
+        best
+    }
+
+    /// Apply `op` on behalf of the process named `me` (`0..k`); returns
+    /// the linearized response.
+    ///
+    /// Wait-free: completes in `O(k)` consensus rounds plus one log
+    /// replay, regardless of the scheduling (or crash) of other
+    /// processes.
+    ///
+    /// # Panics
+    /// Panics if `me >= k`.
+    pub fn apply(&self, me: usize, op: S::Op) -> S::Resp {
+        assert!(me < self.k, "name {me} out of range 0..{}", self.k);
+        let mine = Node::new(Some(op));
+        self.announce[me].store(mine, SeqCst);
+        self.head[me].store(self.max_head(), SeqCst);
+
+        unsafe {
+            while (*mine).seq.load(SeqCst) == 0 {
+                let before = self.head[me].load(SeqCst);
+                let before_seq = (*before).seq.load(SeqCst);
+                // Help the process whose turn it is; otherwise push our
+                // own node.
+                let help = self.announce[before_seq % self.k].load(SeqCst);
+                let prefer = if (*help).seq.load(SeqCst) == 0 {
+                    help
+                } else {
+                    mine
+                };
+                let after = (*before).decide_next.decide(prefer);
+                (*after).seq.store(before_seq + 1, SeqCst);
+                self.head[me].store(after, SeqCst);
+            }
+            self.head[me].store(mine, SeqCst);
+
+            // Replay the log up to (and including) our node, following
+            // the decided successor chain (complete by construction).
+            let mut state = S::default();
+            let mut cur = (*self.tail).decide_next.peek();
+            loop {
+                debug_assert!(!cur.is_null(), "log ended before our node");
+                let resp = state.apply((*cur).op.as_ref().expect("non-sentinel"));
+                if cur == mine {
+                    return resp;
+                }
+                cur = (*cur).decide_next.peek();
+            }
+        }
+    }
+
+    /// Replay the whole current log into a fresh state and return it —
+    /// a linearizable snapshot of the object as of some point during the
+    /// call. Used by tests and for draining an object at shutdown.
+    pub fn replay(&self) -> S {
+        let mut state = S::default();
+        unsafe {
+            let stop = self.max_head();
+            if (*stop).seq.load(SeqCst) <= 1 {
+                return state;
+            }
+            let mut cur = (*self.tail).decide_next.peek();
+            loop {
+                if cur.is_null() {
+                    break;
+                }
+                state.apply((*cur).op.as_ref().expect("non-sentinel"));
+                if cur == stop {
+                    break;
+                }
+                cur = (*cur).decide_next.peek();
+            }
+        }
+        state
+    }
+}
+
+impl<S: Sequential> Drop for Universal<S> {
+    fn drop(&mut self) {
+        // With exclusive access every announced node has been threaded,
+        // so walking the log (via the *decided* pointers, which are
+        // complete even where `next` lags) frees everything exactly once.
+        unsafe {
+            let mut cur = self.tail;
+            while !cur.is_null() {
+                let next = (*cur).decide_next.peek();
+                drop(Box::from_raw(cur));
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{CounterOp, QueueOp, SeqCounter, SeqQueue};
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequential_use_matches_the_spec() {
+        let q: Universal<SeqQueue<u32>> = Universal::new(2);
+        assert_eq!(q.apply(0, QueueOp::Enqueue(1)), None);
+        assert_eq!(q.apply(1, QueueOp::Enqueue(2)), None);
+        assert_eq!(q.apply(0, QueueOp::Dequeue), Some(1));
+        assert_eq!(q.apply(0, QueueOp::Dequeue), Some(2));
+        assert_eq!(q.apply(1, QueueOp::Dequeue), None);
+    }
+
+    #[test]
+    fn counter_linearizes_concurrent_increments() {
+        let k = 4;
+        let per = 200;
+        let c: Universal<SeqCounter> = Universal::new(k);
+        std::thread::scope(|s| {
+            for name in 0..k {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..per {
+                        c.apply(name, CounterOp::Add(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.apply(0, CounterOp::Get), (k * per) as i64);
+    }
+
+    #[test]
+    fn queue_never_duplicates_or_loses_elements() {
+        let k = 3;
+        let per = 100u32;
+        let q: Universal<SeqQueue<u32>> = Universal::new(k);
+        let popped: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|name| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        for i in 0..per {
+                            q.apply(name, QueueOp::Enqueue(name as u32 * 1000 + i));
+                            if let Some(v) = q.apply(name, QueueOp::Dequeue) {
+                                got.push(v);
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Drain the remainder.
+        let mut all: Vec<u32> = popped.into_iter().flatten().collect();
+        while let Some(v) = q.apply(0, QueueOp::Dequeue) {
+            all.push(v);
+        }
+        assert_eq!(all.len(), (k as u32 * per) as usize, "lost or duplicated items");
+        let distinct: HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len(), "duplicated items");
+    }
+
+    #[test]
+    fn responses_are_linearizable_per_process_fifo() {
+        // Each process enqueues an increasing sequence; any dequeuer must
+        // observe each process's items in order (FIFO queue + program
+        // order).
+        let k = 3;
+        let per = 80u32;
+        let q: Universal<SeqQueue<(usize, u32)>> = Universal::new(k);
+        let seen: Vec<Vec<(usize, u32)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|name| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        for i in 0..per {
+                            q.apply(name, QueueOp::Enqueue((name, i)));
+                            if let Some(v) = q.apply(name, QueueOp::Dequeue) {
+                                got.push(v);
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<(usize, u32)> = seen.into_iter().flatten().collect();
+        while let Some(v) = q.apply(0, QueueOp::Dequeue) {
+            all.push(v);
+        }
+        // Gather per-producer orders as dequeued from the FIFO: since the
+        // queue is FIFO and each producer enqueues in program order, the
+        // global dequeue order restricted to one producer must be sorted.
+        // (all combines per-thread pops and the final drain, which is a
+        // suffix of the FIFO order; checking the drain suffix suffices.)
+        let drain_start = all.len().saturating_sub(10);
+        let drain = &all[drain_start..];
+        for name in 0..k {
+            let seqs: Vec<u32> = drain
+                .iter()
+                .filter(|(n, _)| *n == name)
+                .map(|(_, i)| *i)
+                .collect();
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "producer {name} items reordered: {seqs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reconstructs_the_state() {
+        let q: Universal<SeqQueue<u8>> = Universal::new(2);
+        q.apply(0, QueueOp::Enqueue(7));
+        q.apply(1, QueueOp::Enqueue(9));
+        q.apply(0, QueueOp::Dequeue);
+        let mut replayed = q.replay();
+        use crate::seq::Sequential;
+        assert_eq!(replayed.apply(&QueueOp::Dequeue), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_foreign_names() {
+        let c: Universal<SeqCounter> = Universal::new(2);
+        c.apply(2, CounterOp::Get);
+    }
+
+    #[test]
+    fn drop_frees_without_crashing_after_heavy_use() {
+        let c: Universal<SeqCounter> = Universal::new(3);
+        std::thread::scope(|s| {
+            for name in 0..3 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        c.apply(name, CounterOp::Add(1));
+                    }
+                });
+            }
+        });
+        drop(c); // exercised under ASAN-less CI by sheer volume
+    }
+}

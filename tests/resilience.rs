@@ -1,0 +1,139 @@
+//! The resiliency story, verified from both sides:
+//! `k-1` failures are survivable (for the paper's algorithms), the
+//! `k`-th is not (for anyone), and the Figure-1 queue baseline is not
+//! even 1-resilient.
+
+use kex::core::sim::Algorithm;
+use kex::sim::prelude::*;
+
+/// Run with `f` processes crashing the first time they are inside their
+/// critical sections; return completed acquisitions of the survivors.
+fn run_with_crashes(algo: Algorithm, n: usize, k: usize, f: usize, seed: u64) -> RunReport {
+    let proto = algo.build(n, k, 4096);
+    let mut sim = Sim::new(proto, algo.model())
+        .cycles(10)
+        .scheduler(RandomSched::new(seed))
+        .failures(FailurePlan::crash_in_cs(0..f))
+        .timing(Timing {
+            ncs_steps: 1,
+            cs_steps: 2,
+        })
+        .build();
+    let report = sim.run(20_000_000);
+    report.assert_safe();
+    report
+}
+
+#[test]
+fn local_spin_algorithms_survive_k_minus_1_cs_crashes() {
+    for algo in [
+        Algorithm::CcChain,
+        Algorithm::CcTree,
+        Algorithm::CcFastPath,
+        Algorithm::CcGraceful,
+        Algorithm::DsmChain,
+        Algorithm::DsmTree,
+        Algorithm::DsmFastPath,
+        Algorithm::DsmGraceful,
+        Algorithm::AssignmentCc,
+        Algorithm::AssignmentDsm,
+    ] {
+        for seed in 0..3 {
+            let (n, k) = (8, 3);
+            let report = run_with_crashes(algo, n, k, k - 1, seed);
+            // The 6 survivors must all finish their 10 cycles.
+            for p in (k - 1)..n {
+                assert_eq!(
+                    report.completed[p], 10,
+                    "{}: survivor {p} blocked (seed {seed})",
+                    algo.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn k_crashes_block_everyone() {
+    // Negative control: with all k slots held by crashed processes, no
+    // survivor can complete another acquisition — the promised resilience
+    // is exactly k-1, not k.
+    let (n, k) = (6, 2);
+    let proto = Algorithm::CcFastPath.build(n, k, 0);
+    let mut sim = Sim::new(proto, MemoryModel::CacheCoherent)
+        .cycles(10)
+        .scheduler(RandomSched::new(1))
+        .failures(FailurePlan::crash_in_cs(0..k))
+        .timing(Timing {
+            ncs_steps: 0,
+            cs_steps: 1,
+        })
+        .build();
+    let report = sim.run(2_000_000);
+    report.assert_safe();
+    // The run cannot quiesce: survivors spin forever.
+    assert_eq!(report.stop, StopReason::StepBudget);
+    let survivor_completed: u64 = report.completed[k..].iter().sum();
+    // Survivors may have slipped a few acquisitions in before both
+    // crashes landed, but cannot all finish.
+    assert!(
+        report.completed[k..].iter().any(|&c| c < 10),
+        "some survivor should be blocked; completed = {:?}",
+        report.completed
+    );
+    let _ = survivor_completed;
+}
+
+#[test]
+fn a_waiting_crash_costs_exactly_one_slot_everywhere() {
+    // A crash while waiting (after the entry decrement) consumes one of
+    // the k slots in *every* counting algorithm — atomic Figure 1
+    // included — and the survivors keep going through the remaining
+    // slots. The paper's objection to Figure 1 is implementability, not
+    // this; see `naive_fig1_decomposition_is_broken`.
+    for algo in [Algorithm::QueueFig1, Algorithm::CcChain, Algorithm::DsmChain] {
+        let proto = algo.build(4, 2, 0);
+        let mut plan = FailurePlan::new();
+        plan.push(FailureSpec {
+            pid: 0,
+            when: FailWhen::WhileContending { after_own_steps: 3 },
+        });
+        let mut sim = Sim::new(proto, algo.model())
+            .cycles(50)
+            .scheduler(RandomSched::new(5))
+            .failures(plan)
+            .timing(Timing {
+                ncs_steps: 0,
+                cs_steps: 4,
+            })
+            .build();
+        let report = sim.run(20_000_000);
+        report.assert_safe();
+        for p in 1..4 {
+            assert_eq!(
+                report.completed[p],
+                50,
+                "{}: survivor {p} blocked",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_fig1_decomposition_is_broken() {
+    // Removing Figure 1's atomic brackets — i.e. trying to run it on
+    // realistic single-word primitives without further synchronization —
+    // lets the model checker find a k-exclusion violation with no
+    // failures at all. This is the paper's argument for why the queue
+    // approach needs either unrealistic hardware or a lock.
+    use kex::core::sim::fig1_nonatomic;
+    let mut b = ProtocolBuilder::new(3);
+    let root = fig1_nonatomic(&mut b, 1);
+    let proto = b.finish(root, 1);
+    let report = kex::sim::explore::explore(proto, &ExploreConfig::default());
+    assert!(
+        report.violation.is_some(),
+        "the naive decomposition should violate k-exclusion"
+    );
+}
