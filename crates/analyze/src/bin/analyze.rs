@@ -1,0 +1,92 @@
+//! Static verdict report for every catalog algorithm.
+//!
+//! ```text
+//! cargo run -p kex-analyze --bin analyze            # text report
+//! cargo run -p kex-analyze --bin analyze -- --json  # JSON (schema in EXPERIMENTS.md)
+//! cargo run -p kex-analyze --bin analyze -- --assert
+//!     # exit non-zero unless the expected verdict matrix holds (CI mode)
+//! cargo run -p kex-analyze --bin analyze -- --n 16 --k 4
+//! ```
+
+use std::process::ExitCode;
+
+use kex_analyze::{analyze_all, expected_matrix_failures, render_json, render_text, Config};
+
+const USAGE: &str = "usage: analyze [--json] [--assert] [--n N] [--k K] [--max-locs M]\n\
+                     \n\
+                     Statically audits every algorithm variant: local-spin (CC and DSM),\n\
+                     atomic-section size, bounded spin space, name space, and RMR bounds\n\
+                     cross-checked against the paper's Table 1.";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut json = false;
+    let mut assert_matrix = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let num = |i: &mut usize| -> usize {
+        *i += 1;
+        args.get(*i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--assert" => assert_matrix = true,
+            "--n" => cfg.n = num(&mut i),
+            "--k" => cfg.k = num(&mut i),
+            "--max-locs" => cfg.max_locs = num(&mut i),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if cfg.k == 0 || cfg.k >= cfg.n {
+        eprintln!("analyze: require 1 <= k < N (got k={}, N={})", cfg.k, cfg.n);
+        return ExitCode::from(2);
+    }
+    if let Err(e) = kex_sim::protocol::ProtocolBuilder::try_new(cfg.n) {
+        eprintln!("analyze: {e}");
+        return ExitCode::from(2);
+    }
+
+    let verdicts = match analyze_all(&cfg) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&verdicts, &cfg));
+    } else {
+        print!("{}", render_text(&verdicts, &cfg));
+    }
+
+    if assert_matrix {
+        let fails = expected_matrix_failures(&verdicts);
+        if !fails.is_empty() {
+            eprintln!("analyze: expected verdict matrix violated:");
+            for f in &fails {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "analyze: expected verdict matrix holds ({} algorithms)",
+            verdicts.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

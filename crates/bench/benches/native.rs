@@ -1,6 +1,6 @@
-//! E9 — native wall-clock scalability (criterion): throughput and
-//! latency of every native k-exclusion algorithm vs. the OS-semaphore
-//! baseline, across thread counts.
+//! E9 — native wall-clock scalability: throughput and latency of every
+//! native k-exclusion algorithm vs. the OS-semaphore baseline, across
+//! thread counts.
 //!
 //! Absolute numbers are host-specific; the *shape* to compare with the
 //! paper's scalability argument: the local-spin algorithms' per-
@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kex_bench::microbench::{BenchmarkId, Criterion, Throughput};
 
 use kex_core::native::{
     CcChainKex, DsmChainKex, FastPathKex, GracefulKex, KAssignment, McsLock, QueueKex, RawKex,
@@ -25,7 +25,10 @@ const K: usize = 4;
 fn algorithms(n: usize) -> Vec<(&'static str, Arc<dyn RawKex>)> {
     let k = K.min(n - 1).max(1);
     vec![
-        ("cc-chain", Arc::new(CcChainKex::new(n, k)) as Arc<dyn RawKex>),
+        (
+            "cc-chain",
+            Arc::new(CcChainKex::new(n, k)) as Arc<dyn RawKex>,
+        ),
         ("dsm-chain", Arc::new(DsmChainKex::new(n, k))),
         ("cc-tree", Arc::new(TreeKex::cc(n, k))),
         ("cc-fastpath", Arc::new(FastPathKex::new(n, k))),
@@ -161,11 +164,10 @@ fn bench_k1_vs_mcs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_uncontended,
-    bench_contended,
-    bench_assignment,
-    bench_k1_vs_mcs
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_uncontended(&mut c);
+    bench_contended(&mut c);
+    bench_assignment(&mut c);
+    bench_k1_vs_mcs(&mut c);
+}

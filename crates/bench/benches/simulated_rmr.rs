@@ -1,4 +1,4 @@
-//! Criterion bench over the *simulator*: time to run a fixed workload to
+//! Bench over the *simulator*: time to run a fixed workload to
 //! quiescence per algorithm. This is a performance benchmark of the
 //! reproduction infrastructure itself (so regressions in the experiment
 //! harness are caught), and doubles as a determinism check: each
@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo bench -p kex-bench --bench simulated_rmr`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kex_bench::microbench::{BenchmarkId, Criterion};
 
 use kex_core::sim::Algorithm;
 use kex_sim::prelude::*;
@@ -60,5 +60,8 @@ fn bench_model_checker(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_model_checker);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_simulator(&mut c);
+    bench_model_checker(&mut c);
+}

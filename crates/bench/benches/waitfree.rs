@@ -1,5 +1,5 @@
-//! E9b — wait-free object ablation (criterion): the cost spectrum of the
-//! payload objects that go inside the resiliency wrapper, plus the full
+//! E9b — wait-free object ablation: the cost spectrum of the payload
+//! objects that go inside the resiliency wrapper, plus the full
 //! wrapped stack.
 //!
 //! * `SlotCounter` (per-name cells) vs `FetchAddCounter` (one hot word)
@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo bench -p kex-bench --bench waitfree`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kex_bench::microbench::{BatchSize, BenchmarkId, Criterion, Throughput};
 
 use kex_core::native::Resilient;
 use kex_waitfree::seq::CounterOp;
@@ -82,31 +82,22 @@ fn bench_universal_vs_cached(c: &mut Criterion) {
     group.sample_size(10);
     for ops in [200u64, 1_000, 4_000] {
         group.throughput(Throughput::Elements(ops));
-        group.bench_with_input(
-            BenchmarkId::new("textbook_replay", ops),
-            &ops,
-            |b, &ops| {
-                b.iter(|| {
-                    let u: Universal<kex_waitfree::seq::SeqCounter> = Universal::new(K);
-                    for i in 0..ops {
-                        u.apply((i % K as u64) as usize, CounterOp::Add(1));
-                    }
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("resume_cached", ops),
-            &ops,
-            |b, &ops| {
-                b.iter(|| {
-                    let u: CachedUniversal<kex_waitfree::seq::SeqCounter> =
-                        CachedUniversal::new(K);
-                    for i in 0..ops {
-                        u.apply((i % K as u64) as usize, CounterOp::Add(1));
-                    }
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("textbook_replay", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let u: Universal<kex_waitfree::seq::SeqCounter> = Universal::new(K);
+                for i in 0..ops {
+                    u.apply((i % K as u64) as usize, CounterOp::Add(1));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("resume_cached", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let u: CachedUniversal<kex_waitfree::seq::SeqCounter> = CachedUniversal::new(K);
+                for i in 0..ops {
+                    u.apply((i % K as u64) as usize, CounterOp::Add(1));
+                }
+            })
+        });
     }
     group.finish();
 }
@@ -147,18 +138,17 @@ fn bench_wrapped_stack(c: &mut Criterion) {
                     queue.with(0, |q, name| q.dequeue(name));
                 }
             },
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         );
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_counters_single_thread,
-    bench_counters_contended,
-    bench_universal_vs_cached,
-    bench_snapshot,
-    bench_wrapped_stack
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_counters_single_thread(&mut c);
+    bench_counters_contended(&mut c);
+    bench_universal_vs_cached(&mut c);
+    bench_snapshot(&mut c);
+    bench_wrapped_stack(&mut c);
+}

@@ -219,10 +219,7 @@ fn arity_ablation() {
         }
         let depth = tree_depth_with_arity(n, k, arity) as u64;
         let bound = 7 * (arity as u64 - 1) * k as u64 * depth;
-        println!(
-            "{:>6} {:>6} | {:>8} {:>20}",
-            arity, depth, worst, bound
-        );
+        println!("{:>6} {:>6} | {:>8} {:>20}", arity, depth, worst, bound);
     }
     println!("expected shape: binary is at or near the optimum — doubling arity halves");
     println!("depth at best but multiplies per-level block cost by (arity-1)\n");
@@ -270,13 +267,7 @@ fn k1_vs_mcs() {
         let gr = measure(&Workload::full(Algorithm::CcGraceful, n, 1));
         println!(
             "{:>4} | {:>9} {:>9} | {:>8} {:>8} {:>10} {:>10}",
-            n,
-            mcs_worst,
-            ya_worst,
-            chain.worst_pair,
-            tree.worst_pair,
-            fp.worst_pair,
-            gr.worst_pair
+            n, mcs_worst, ya_worst, chain.worst_pair, tree.worst_pair, fp.worst_pair, gr.worst_pair
         );
     }
     println!("expected shape: MCS (swap+CAS) is O(1) and flat; Yang-Anderson (read/");
@@ -343,9 +334,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "usage: bounds -- [thm1|thm2|thm3|thm4|thm9|fig5|fairness|arity|mcs|all]"
-            );
+            eprintln!("usage: bounds -- [thm1|thm2|thm3|thm4|thm9|fig5|fairness|arity|mcs|all]");
             std::process::exit(2);
         }
     }

@@ -46,16 +46,15 @@ fn run(algo: Algorithm, f: usize, seed: u64, crash_waiting: bool) -> (usize, usi
         .iter()
         .filter(|&&c| c == CYCLES)
         .count();
-    (
-        done,
-        N - f,
-        report.stop == StopReason::StepBudget,
-    )
+    (done, N - f, report.stop == StopReason::StepBudget)
 }
 
 fn main() {
     println!("E7: resiliency — {N} processes, k = {K}, crashes inside the CS");
-    println!("(paper claim: (k-1)-resilient, i.e. full progress for f <= {})\n", K - 1);
+    println!(
+        "(paper claim: (k-1)-resilient, i.e. full progress for f <= {})\n",
+        K - 1
+    );
     println!(
         "{:<24} {:>7} {:>7} {:>7} {:>9}",
         "algorithm", "f=0", "f=1", "f=2", "f=3 (=k)"
@@ -95,7 +94,10 @@ fn main() {
         );
     }
     println!("\ncells: survivors-finished / survivors; '*' = run wedged (step budget hit)");
-    println!("expected: every paper algorithm reads 7/7 up to f = {}, wedges at f = {K};", K - 1);
+    println!(
+        "expected: every paper algorithm reads 7/7 up to f = {}, wedges at f = {K};",
+        K - 1
+    );
     println!("(global-spin also survives CS crashes of f < k but is not starvation-free)\n");
 
     println!("crashes while WAITING (after the entry decrement), f = 1 .. k:");
@@ -104,7 +106,11 @@ fn main() {
         "algorithm", "f=1", "f=2", "f=3 (=k)"
     );
     println!("{}", "-".repeat(52));
-    for algo in [Algorithm::QueueFig1, Algorithm::CcChain, Algorithm::DsmChain] {
+    for algo in [
+        Algorithm::QueueFig1,
+        Algorithm::CcChain,
+        Algorithm::DsmChain,
+    ] {
         let mut cells = Vec::new();
         for f in 1..=K {
             let (done, total, wedged) = run(algo, f, 7, true);

@@ -138,7 +138,11 @@ pub fn measure(w: &Workload) -> Measurement {
     }
     Measurement {
         worst_pair,
-        mean_pair: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+        mean_pair: if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        },
         worst_entry,
         worst_wait_steps: wait.max,
         p99_wait_steps: wait.quantile_bucket_upper(0.99),
@@ -164,7 +168,9 @@ mod tests {
 
     #[test]
     fn contention_cap_is_respected() {
-        let w = Workload::full(Algorithm::CcFastPath, 8, 2).contention(2).cycles(5);
+        let w = Workload::full(Algorithm::CcFastPath, 8, 2)
+            .contention(2)
+            .cycles(5);
         let m = measure(&w);
         assert!(m.peak_contention <= 2);
         assert_eq!(m.acquisitions, 8 * 2 * 5);

@@ -12,12 +12,13 @@
 //! * `cargo run --release -p kex-bench --bin resilience` — E7: failure
 //!   injection, survivors' progress at `f = 0 .. k` crashes.
 //! * `cargo bench -p kex-bench` — E9: native wall-clock scalability on
-//!   the host machine (criterion).
+//!   the host machine (via the in-tree [`microbench`] runner).
 //!
 //! This library crate holds the shared measurement machinery.
 
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{measure, Measurement, Workload};

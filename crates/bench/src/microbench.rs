@@ -1,0 +1,237 @@
+//! A minimal wall-clock micro-benchmark runner with a criterion-shaped
+//! API, so the `benches/` files read like standard Rust benchmarks
+//! while depending on nothing outside the workspace.
+//!
+//! Measurement model: each `bench_function` first calibrates an
+//! iteration count so one sample takes at least [`TARGET_SAMPLE`] of
+//! wall time, then takes `sample_size` samples and reports the median
+//! ns/iteration (plus elements/second when a [`Throughput`] is set).
+//! No statistics beyond the median are attempted — these benches chart
+//! *shapes* (scaling curves), not microsecond-exact deltas.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Minimum wall time per sample after calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Top-level runner; hands out named benchmark groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// A fresh runner.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units-per-iteration declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; every batch is one routine call here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Routine input is cheap to construct.
+    SmallInput,
+}
+
+/// A display-friendly benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A group of benchmarks sharing a prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declares the work done per iteration for throughput lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: grow iters until one sample is long enough.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= TARGET_SAMPLE || b.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+            };
+            b.iters = (b.iters * grow.clamp(2, 16)).min(1 << 30);
+        }
+        b.mode = Mode::Measure;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples.sort_by(|a, z| a.total_cmp(z));
+        let median = samples[samples.len() / 2];
+        let mut line = format!("{}/{id}: {median:.1} ns/iter", self.name);
+        if let Some(Throughput::Elements(elems)) = self.throughput {
+            let per_sec = elems as f64 * 1e9 / median;
+            line.push_str(&format!(" ({per_sec:.0} elem/s)"));
+        }
+        println!("{line}");
+    }
+
+    /// Runs one benchmark that also receives an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (purely cosmetic here).
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, PartialEq)]
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the routine time itself: `routine(iters)` must return the
+    /// wall time spent on `iters` iterations.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_trivial_bench_without_panicking() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        let mut hits = 0u64;
+        g.bench_function("noop", |b| b.iter(|| hits += 1));
+        g.bench_with_input(BenchmarkId::new("id", 7), &7, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::spin_loop();
+                }
+                t.elapsed()
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

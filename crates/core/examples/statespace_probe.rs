@@ -32,7 +32,11 @@ fn probe_cycles(
     println!(
         "{label:<28} n={n} k={k} f={failures}: states={}{} transitions={} violation={} in {:?}",
         report.states,
-        if report.truncated { "+ (TRUNCATED)" } else { "" },
+        if report.truncated {
+            "+ (TRUNCATED)"
+        } else {
+            ""
+        },
         report.transitions,
         report.violation.is_some(),
         t.elapsed()
@@ -41,7 +45,15 @@ fn probe_cycles(
 
 fn main() {
     let cap = 3_000_000;
-    probe_cycles("dsm-chain c=1 f=1", Algorithm::DsmChain, 3, 2, 1, cap, Some(1));
+    probe_cycles(
+        "dsm-chain c=1 f=1",
+        Algorithm::DsmChain,
+        3,
+        2,
+        1,
+        cap,
+        Some(1),
+    );
     probe("graceful", Algorithm::CcGraceful, 3, 1, 0, cap);
     probe("cc-fastpath", Algorithm::CcFastPath, 3, 1, 0, cap);
 }

@@ -3,7 +3,7 @@
 
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
 
-use crossbeam_utils::CachePadded;
+use kex_util::CachePadded;
 
 use super::fig2::CcChainKex;
 use super::fig6::DsmChainKex;
@@ -69,7 +69,9 @@ impl std::fmt::Debug for FastPathKex {
 impl FastPathKex {
     /// Cache-coherent variant (Figure-2 blocks) — Theorem 3.
     pub fn new(n: usize, k: usize) -> Self {
-        Self::with_factory(n, k, &|u, m, k| Box::new(CcChainKex::with_universe(u, m, k)))
+        Self::with_factory(n, k, &|u, m, k| {
+            Box::new(CcChainKex::with_universe(u, m, k))
+        })
     }
 
     /// DSM variant (Figure-6 blocks) — Theorem 7.
@@ -92,7 +94,9 @@ impl FastPathKex {
                 x: CachePadded::new(AtomicIsize::new(k as isize)),
                 slow: TreeKex::with_factory(n, k, factory),
                 block: factory(n, 2 * k, k),
-                slow_flag: (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+                slow_flag: (0..n)
+                    .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                    .collect(),
             }
         };
         FastPathKex { inner, n, k }
@@ -187,7 +191,9 @@ impl std::fmt::Debug for GracefulKex {
 impl GracefulKex {
     /// Cache-coherent variant — Theorem 4.
     pub fn new(n: usize, k: usize) -> Self {
-        Self::with_factory(n, k, &|u, m, k| Box::new(CcChainKex::with_universe(u, m, k)))
+        Self::with_factory(n, k, &|u, m, k| {
+            Box::new(CcChainKex::with_universe(u, m, k))
+        })
     }
 
     /// DSM variant — Theorem 8.
@@ -215,7 +221,9 @@ impl GracefulKex {
         GracefulKex {
             levels,
             base: factory(n, pop, k),
-            depth: (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+            depth: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
             n,
             k,
         }

@@ -12,8 +12,8 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 
-use crossbeam_utils::{Backoff, CachePadded};
-use parking_lot::Mutex;
+use kex_util::sync::Mutex;
+use kex_util::{Backoff, CachePadded};
 
 use super::raw::RawKex;
 
@@ -49,7 +49,9 @@ impl QueueKex {
                 x: k as isize,
                 queue: VecDeque::with_capacity(n),
             }),
-            waiting: (0..n).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+            waiting: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
             n,
             k,
         }

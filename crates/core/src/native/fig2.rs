@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
 
-use crossbeam_utils::{Backoff, CachePadded};
+use kex_util::{Backoff, CachePadded};
 
 use super::raw::RawKex;
 

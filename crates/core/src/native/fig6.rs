@@ -14,7 +14,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering::SeqCst};
 
-use crossbeam_utils::{Backoff, CachePadded};
+use kex_util::{Backoff, CachePadded};
 
 use super::raw::RawKex;
 
@@ -58,7 +58,9 @@ impl DsmStage {
         DsmStage {
             x: CachePadded::new(AtomicIsize::new(j as isize)),
             q: CachePadded::new(AtomicU64::new(0)), // (pid 0, loc 0)
-            slots: (0..n).map(|_| CachePadded::new(ProcSlots::new(locs))).collect(),
+            slots: (0..n)
+                .map(|_| CachePadded::new(ProcSlots::new(locs)))
+                .collect(),
             locs,
         }
     }

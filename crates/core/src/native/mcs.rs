@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 
-use crossbeam_utils::{Backoff, CachePadded};
+use kex_util::{Backoff, CachePadded};
 
 use super::raw::RawKex;
 
@@ -84,11 +84,7 @@ impl RawKex for McsLock {
         let me = &self.nodes[p];
         if me.next.load(SeqCst) == NIL {
             // No visible successor: try to swing the tail back.
-            if self
-                .tail
-                .compare_exchange(p, NIL, SeqCst, SeqCst)
-                .is_ok()
-            {
+            if self.tail.compare_exchange(p, NIL, SeqCst, SeqCst).is_ok() {
                 return;
             }
             // A successor is mid-announcement: wait for its link.

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 
-use crossbeam_utils::CachePadded;
+use kex_util::CachePadded;
 
 /// The Figure-7 name allocator: `k-1` test-and-set bits for a name space
 /// of exactly `k` (name `k-1` needs no bit; at most one process can be

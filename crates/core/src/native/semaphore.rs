@@ -9,7 +9,7 @@
 //! deadlocks it just the same. It is, however, the right wall-clock
 //! comparison point for the native algorithms.
 
-use parking_lot::{Condvar, Mutex};
+use kex_util::sync::{Condvar, Mutex};
 
 use super::raw::RawKex;
 

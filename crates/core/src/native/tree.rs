@@ -42,7 +42,9 @@ impl std::fmt::Debug for Box<dyn RawKex> {
 impl TreeKex {
     /// Tree of Figure-2 (cache-coherent) chain blocks — Theorem 2.
     pub fn cc(n: usize, k: usize) -> Self {
-        Self::with_factory(n, k, &|u, m, k| Box::new(CcChainKex::with_universe(u, m, k)))
+        Self::with_factory(n, k, &|u, m, k| {
+            Box::new(CcChainKex::with_universe(u, m, k))
+        })
     }
 
     /// Tree of Figure-6 (DSM, bounded local-spin) chain blocks —
@@ -71,8 +73,7 @@ impl TreeKex {
         let mut levels = Vec::new();
         let mut count = n.div_ceil(2 * k);
         loop {
-            let level: Vec<Box<dyn RawKex>> =
-                (0..count).map(|_| factory(n, 2 * k, k)).collect();
+            let level: Vec<Box<dyn RawKex>> = (0..count).map(|_| factory(n, 2 * k, k)).collect();
             levels.push(level);
             if count == 1 {
                 break;

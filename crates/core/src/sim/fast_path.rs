@@ -34,7 +34,8 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
+use kex_sim::summary::{AccessDesc, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 
 use super::tree::{tree, BlockBuilder};
 
@@ -56,7 +57,9 @@ impl FastPathNode {
     /// Construct a fast-path node over an existing slow path and final
     /// block.
     pub fn new(b: &mut ProtocolBuilder, k: usize, slow: NodeId, block: NodeId) -> Self {
-        let x = b.vars.alloc(format!("fastpath.X(k={k},v{})", b.vars.len()), k as Word);
+        let x = b
+            .vars
+            .alloc(format!("fastpath.X(k={k},v{})", b.vars.len()), k as Word);
         FastPathNode { x, slow, block, k }
     }
 }
@@ -131,6 +134,35 @@ impl Node for FastPathNode {
             (Section::Exit, 3) => Step::Return,
             _ => unreachable!("fast-path: bad pc {pc} in {sec}"),
         }
+    }
+
+    fn describe(&self, _p: Pid) -> Option<NodeDesc> {
+        let entry = vec![
+            StmtDesc::new(0, "1: slow := false").goto(1),
+            StmtDesc::new(1, "2: if f&i(X, -1) = 0")
+                .access(AccessDesc::rmw(self.x))
+                .goto(2)
+                .goto(3),
+            StmtDesc::new(2, "3-4: slow := true; Acquire(N-k)").call(self.slow, Section::Entry, 3),
+            StmtDesc::new(3, "5: Acquire(2k)").call(self.block, Section::Entry, 4),
+            StmtDesc::new(4, "acquired").returns(),
+        ];
+        let exit = vec![
+            StmtDesc::new(0, "6: Release(2k)").call(self.block, Section::Exit, 1),
+            StmtDesc::new(1, "7-8: if slow then Release(N-k)")
+                .call(self.slow, Section::Exit, 3)
+                .goto(2),
+            StmtDesc::new(2, "9: f&i(X, 1)")
+                .access(AccessDesc::rmw(self.x))
+                .returns(),
+            StmtDesc::new(3, "released").returns(),
+        ];
+        Some(NodeDesc {
+            exclusion: Some(self.k),
+            spin_space: SpaceClass::NoSpin,
+            entry,
+            exit,
+        })
     }
 }
 
@@ -253,7 +285,11 @@ mod tests {
         assert_eq!(costs[0], costs[1], "cost must not grow with N");
         assert_eq!(costs[1], costs[2], "cost must not grow with N");
         // And it is O(k): comfortably below the full tree bound.
-        assert!(costs[0] <= 3 * 2 + 4, "expected O(k) fast-path cost, got {}", costs[0]);
+        assert!(
+            costs[0] <= 3 * 2 + 4,
+            "expected O(k) fast-path cost, got {}",
+            costs[0]
+        );
     }
 
     #[test]

@@ -38,8 +38,9 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 use kex_sim::vars::at;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
 
 /// Local-variable layout.
 const L_T: usize = 0;
@@ -146,6 +147,54 @@ impl Node for NonatomicQueueNode {
             _ => unreachable!("fig1-nonatomic: bad pc {pc} in {sec}"),
         }
     }
+
+    fn describe(&self, _p: Pid) -> Option<NodeDesc> {
+        let n = self.n;
+        let entry = vec![
+            StmtDesc::new(0, "1a: if f&i(X,-1) <= 0")
+                .access(AccessDesc::rmw(self.x))
+                .goto(1)
+                .returns(),
+            StmtDesc::new(1, "1b: t := Q.len")
+                .access(AccessDesc::read(self.len))
+                .goto(2),
+            StmtDesc::new(2, "1c: Q.slots[t] := p")
+                .access(AccessDesc::write_any(self.slots, n))
+                .goto(3),
+            StmtDesc::new(3, "1d: Q.len := t + 1")
+                .access(AccessDesc::write(self.len))
+                .goto(4),
+            StmtDesc::new(4, "2: while Element(p, Q) do od")
+                .access(AccessDesc::read(self.len))
+                .access(AccessDesc::read_any(self.slots, n).times(n))
+                .returns()
+                .back_edge(BackEdge::spin(4)),
+        ];
+        let exit = vec![
+            StmtDesc::new(0, "3a: t := Q.len")
+                .access(AccessDesc::read(self.len))
+                .goto(1)
+                .goto(3),
+            // The shift stays one statement here; the decomposition this
+            // node demonstrates lives in the enqueue path.
+            StmtDesc::new(1, "3b: shift/clear")
+                .access(AccessDesc::read_any(self.slots, n).times(n.saturating_sub(1)))
+                .access(AccessDesc::write_any(self.slots, n).times(n))
+                .goto(2),
+            StmtDesc::new(2, "3c: Q.len := t - 1")
+                .access(AccessDesc::write(self.len))
+                .goto(3),
+            StmtDesc::new(3, "3d: f&i(X, 1)")
+                .access(AccessDesc::rmw(self.x))
+                .returns(),
+        ];
+        Some(NodeDesc {
+            exclusion: None,
+            spin_space: SpaceClass::Bounded,
+            entry,
+            exit,
+        })
+    }
 }
 
 /// Build the naive decomposition as a protocol root (negative control).
@@ -173,7 +222,10 @@ mod tests {
         // paper's argument for why Figure 1 needs its atomic sections.
         let report = explore(protocol(3, 1), &ExploreConfig::default());
         assert!(
-            matches!(report.violation, Some((_, Violation::TooManyInCritical { .. }))),
+            matches!(
+                report.violation,
+                Some((_, Violation::TooManyInCritical { .. }))
+            ),
             "expected a k-exclusion violation from the naive decomposition, got {:?}",
             report.violation
         );
@@ -195,7 +247,10 @@ mod tests {
             "replayed schedule must reproduce the violation:\n{trace}"
         );
         let text = trace.to_string();
-        assert!(text.contains("fig1-nonatomic"), "trace names the node:\n{text}");
+        assert!(
+            text.contains("fig1-nonatomic"),
+            "trace names the node:\n{text}"
+        );
     }
 
     #[test]

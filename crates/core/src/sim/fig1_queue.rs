@@ -39,8 +39,9 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{Pid, Section, Step, VarId, Word};
 use kex_sim::vars::at;
-use kex_sim::types::{Section, Step, VarId, Word};
 
 /// The Figure-1 queue-based `(N, k)`-exclusion node.
 pub struct QueueKexNode {
@@ -118,6 +119,44 @@ impl Node for QueueKexNode {
             _ => unreachable!("fig1: bad pc {pc} in {sec}"),
         }
     }
+
+    fn describe(&self, _p: Pid) -> Option<NodeDesc> {
+        let n = self.n;
+        let entry = vec![
+            // The angle-bracketed enqueue: four word accesses fused into
+            // one statement — exactly what the atomic-section lint is for.
+            StmtDesc::new(0, "<if f&i(X,-1) <= 0 then Enqueue(p, Q)>")
+                .access(AccessDesc::rmw(self.x))
+                .access(AccessDesc::read(self.len))
+                .access(AccessDesc::write_any(self.slots, n))
+                .access(AccessDesc::write(self.len))
+                .goto(1)
+                .returns(),
+            // Each wait iteration re-scans the whole occupied prefix.
+            StmtDesc::new(1, "while Element(p, Q) do od")
+                .access(AccessDesc::read(self.len))
+                .access(AccessDesc::read_any(self.slots, n).times(n))
+                .returns()
+                .back_edge(BackEdge::spin(1)),
+        ];
+        let exit = vec![
+            // Dequeue-with-shift plus the slot release, all in one
+            // bracket: ~2N accesses in a single "atomic" statement.
+            StmtDesc::new(0, "<Dequeue(Q); f&i(X, 1)>")
+                .access(AccessDesc::read(self.len))
+                .access(AccessDesc::read_any(self.slots, n).times(n.saturating_sub(1)))
+                .access(AccessDesc::write_any(self.slots, n).times(n))
+                .access(AccessDesc::write(self.len))
+                .access(AccessDesc::rmw(self.x))
+                .returns(),
+        ];
+        Some(NodeDesc {
+            exclusion: None,
+            spin_space: SpaceClass::Bounded,
+            entry,
+            exit,
+        })
+    }
 }
 
 /// Build the Figure-1 node as a protocol root.
@@ -159,8 +198,7 @@ mod tests {
     fn exhaustive_safety_and_liveness_without_failures() {
         let report = explore(protocol(3, 1), &ExploreConfig::default());
         report.assert_ok();
-        check_starvation_freedom(&report)
-            .expect("FIFO queue is starvation-free absent failures");
+        check_starvation_freedom(&report).expect("FIFO queue is starvation-free absent failures");
     }
 
     #[test]

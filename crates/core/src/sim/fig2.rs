@@ -31,7 +31,8 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 
 /// One Figure-2 stage: `(N, j)`-exclusion from an `(N, j+1)` child.
 pub struct Fig2Stage {
@@ -132,6 +133,54 @@ impl Node for Fig2Stage {
             (Section::Exit, 2) => Step::Return,
             _ => unreachable!("fig2 stage: bad pc {pc} in {sec}"),
         }
+    }
+
+    fn describe(&self, _p: Pid) -> Option<NodeDesc> {
+        let stmt2 = |pc: u32| {
+            StmtDesc::new(pc, "if f&i(X,-1) <= 0 goto 3 else CS")
+                .access(AccessDesc::rmw(self.x))
+                .goto(2)
+                .returns()
+        };
+        let entry = vec![
+            // pc 0 is Acquire(N, j+1) when a child exists; at the basis
+            // it executes statement 2 directly and pc 1 is unreachable.
+            match self.child {
+                Some(child) => StmtDesc::new(0, "Acquire(N, j+1)").call(child, Section::Entry, 1),
+                None => stmt2(0),
+            },
+            stmt2(1),
+            StmtDesc::new(2, "Q := p")
+                .access(AccessDesc::write(self.q))
+                .goto(3),
+            StmtDesc::new(3, "if X < 0 goto 5 else CS")
+                .access(AccessDesc::read(self.x))
+                .goto(4)
+                .returns(),
+            StmtDesc::new(4, "while Q = p do od")
+                .access(AccessDesc::read(self.q))
+                .returns()
+                .back_edge(BackEdge::spin(4)),
+        ];
+        let exit = vec![
+            StmtDesc::new(0, "f&i(X, 1)")
+                .access(AccessDesc::rmw(self.x))
+                .goto(1),
+            {
+                let s = StmtDesc::new(1, "Q := p").access(AccessDesc::write(self.q));
+                match self.child {
+                    Some(child) => s.call(child, Section::Exit, 2),
+                    None => s.returns(),
+                }
+            },
+            StmtDesc::new(2, "Release(N, j+1) done").returns(),
+        ];
+        Some(NodeDesc {
+            exclusion: Some(self.j),
+            spin_space: SpaceClass::Bounded,
+            entry,
+            exit,
+        })
     }
 }
 
@@ -298,9 +347,8 @@ mod tests {
                     (Phase::Exit, Some(f)) => (None, Some(f.pc)),
                     _ => (None, None),
                 };
-                let is_inside = matches!(entry_pc, Some(2..=4))
-                    || p.phase.in_critical()
-                    || exit_pc == Some(0);
+                let is_inside =
+                    matches!(entry_pc, Some(2..=4)) || p.phase.in_critical() || exit_pc == Some(0);
                 if is_inside {
                     inside += 1;
                 }

@@ -40,8 +40,9 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 use kex_sim::vars::at;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
 
 use super::loc::LocCodec;
 
@@ -58,27 +59,21 @@ pub struct Fig5Stage {
     codec: LocCodec,
     child: Option<NodeId>,
     j: usize,
+    n: usize,
 }
 
 impl Fig5Stage {
     /// Allocate shared variables for `n` processes with `max_locs` spin
     /// locations each (the "unbounded" array, truncated for simulation).
     /// `child` is the `(N, j+1)` algorithm, `None` for the skip basis.
-    pub fn new(
-        b: &mut ProtocolBuilder,
-        j: usize,
-        max_locs: usize,
-        child: Option<NodeId>,
-    ) -> Self {
+    pub fn new(b: &mut ProtocolBuilder, j: usize, max_locs: usize, child: Option<NodeId>) -> Self {
         let n = b.n();
         let codec = LocCodec::new(max_locs);
         let x = b.vars.alloc(format!("fig5[{j}].X"), j as Word);
         let q = b.vars.alloc(format!("fig5[{j}].Q"), codec.enc(0, 0));
         // Allocate P[p][i] with per-process DSM ownership.
         let p_base = {
-            let first = b
-                .vars
-                .alloc_local(format!("fig5[{j}].P[0][0]"), 0, 0);
+            let first = b.vars.alloc_local(format!("fig5[{j}].P[0][0]"), 0, 0);
             for pid in 0..n {
                 for i in 0..max_locs {
                     if pid == 0 && i == 0 {
@@ -97,6 +92,7 @@ impl Fig5Stage {
             codec,
             child,
             j,
+            n,
         }
     }
 
@@ -220,6 +216,80 @@ impl Node for Fig5Stage {
             (Section::Exit, 3) => Step::Return,
             _ => unreachable!("fig5 stage: bad pc {pc} in {sec}"),
         }
+    }
+
+    fn describe(&self, p: Pid) -> Option<NodeDesc> {
+        let locs = self.codec.stride();
+        // P[p][..] — the caller's own (locally owned) row.
+        let own_row = at(self.p_base, p * locs);
+        // P[*][*] — statements 6/12 release whichever record Q held.
+        let all = self.n * locs;
+        let mut entry = vec![match self.child {
+            Some(child) => StmtDesc::new(0, "1: Acquire(N, j+1)").call(child, Section::Entry, 1),
+            None => StmtDesc::new(0, "2: if f&i(X,-1) <= 0 (basis)")
+                .access(AccessDesc::rmw(self.x))
+                .goto(2)
+                .returns(),
+        }];
+        entry.extend([
+            StmtDesc::new(1, "2: if f&i(X,-1) <= 0")
+                .access(AccessDesc::rmw(self.x))
+                .goto(2)
+                .returns(),
+            StmtDesc::new(2, "3: next.loc := next.loc + 1").goto(3),
+            StmtDesc::new(3, "4: P[p][next.loc] := false")
+                .access(AccessDesc::write_any(own_row, locs))
+                .goto(4),
+            StmtDesc::new(4, "5: v := Q")
+                .access(AccessDesc::read(self.q))
+                .goto(5),
+            StmtDesc::new(5, "6: P[v.pid][v.loc] := true")
+                .access(AccessDesc::write_any(self.p_base, all))
+                .goto(6),
+            StmtDesc::new(6, "7: if CAS(Q, v, next)")
+                .access(AccessDesc::rmw(self.q))
+                .goto(7)
+                .returns(),
+            StmtDesc::new(7, "8: if X < 0")
+                .access(AccessDesc::read(self.x))
+                .goto(8)
+                .returns(),
+            StmtDesc::new(8, "9: while !P[p][next.loc] do od")
+                .access(AccessDesc::read_any(own_row, locs))
+                .returns()
+                .back_edge(BackEdge::spin(8)),
+        ]);
+        let mut exit = vec![
+            StmtDesc::new(0, "10: f&i(X, 1)")
+                .access(AccessDesc::rmw(self.x))
+                .goto(1),
+            StmtDesc::new(1, "11: v := Q")
+                .access(AccessDesc::read(self.q))
+                .goto(2),
+        ];
+        match self.child {
+            Some(child) => {
+                exit.push(
+                    StmtDesc::new(2, "12: P[v.pid][v.loc] := true")
+                        .access(AccessDesc::write_any(self.p_base, all))
+                        .call(child, Section::Exit, 3),
+                );
+                exit.push(StmtDesc::new(3, "13: Release(N, j+1) done").returns());
+            }
+            None => exit.push(
+                StmtDesc::new(2, "12: P[v.pid][v.loc] := true")
+                    .access(AccessDesc::write_any(self.p_base, all))
+                    .returns(),
+            ),
+        }
+        Some(NodeDesc {
+            exclusion: Some(self.j),
+            // The paper-true algorithm consumes a fresh location per wait;
+            // the simulator's `max_locs` truncation is an artifact.
+            spin_space: SpaceClass::Unbounded,
+            entry,
+            exit,
+        })
     }
 }
 

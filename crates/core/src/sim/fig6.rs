@@ -48,8 +48,9 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
-use kex_sim::vars::at;
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
 use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
+use kex_sim::vars::at;
 
 use super::loc::LocCodec;
 
@@ -68,6 +69,7 @@ pub struct Fig6Stage {
     codec: LocCodec,
     child: Option<NodeId>,
     j: usize,
+    n: usize,
 }
 
 impl Fig6Stage {
@@ -106,6 +108,7 @@ impl Fig6Stage {
             codec,
             child,
             j,
+            n,
         }
     }
 
@@ -292,6 +295,108 @@ impl Node for Fig6Stage {
             (Section::Exit, 6) => Step::Return,
             _ => unreachable!("fig6 stage: bad pc {pc} in {sec}"),
         }
+    }
+
+    fn describe(&self, p: Pid) -> Option<NodeDesc> {
+        let locs = self.codec.stride();
+        // p's own rows of P and R (locally homed under DSM) vs the full
+        // arrays (statements addressing `u = Q`'s record).
+        let own_p = at(self.p_base, p * locs);
+        let own_r = at(self.r_base, p * locs);
+        let all = self.n * locs;
+        let mut entry = vec![match self.child {
+            Some(child) => StmtDesc::new(0, "1: Acquire(N, j+1)").call(child, Section::Entry, 1),
+            None => StmtDesc::new(0, "2: if f&i(X,-1) <= 0 (basis)")
+                .access(AccessDesc::rmw(self.x))
+                .goto(2)
+                .returns(),
+        }];
+        entry.extend([
+            StmtDesc::new(1, "2: if f&i(X,-1) <= 0")
+                .access(AccessDesc::rmw(self.x))
+                .goto(2)
+                .returns(),
+            StmtDesc::new(2, "3: next.loc := (last + 1) mod (j+2)").goto(3),
+            StmtDesc::new(3, "4: while R[p][next.loc] != 0")
+                .access(AccessDesc::read_any(own_r, locs))
+                .goto(4)
+                .goto(5),
+            // The search visits each of the j+2 slots at most once (the
+            // paper's statement-4/5 termination argument).
+            StmtDesc::new(4, "5: next.loc := (next.loc + 1) mod (j+2)")
+                .back_edge(BackEdge::bounded(3, locs)),
+            StmtDesc::new(5, "6: P[p][next.loc] := false")
+                .access(AccessDesc::write_any(own_p, locs))
+                .goto(6),
+            StmtDesc::new(6, "7: u := Q")
+                .access(AccessDesc::read(self.q))
+                .goto(7),
+            StmtDesc::new(7, "8: f&i(R[u.pid][u.loc], 1)")
+                .access(AccessDesc::rmw_any(self.r_base, all))
+                .goto(8),
+            StmtDesc::new(8, "9: if Q = u")
+                .access(AccessDesc::read(self.q))
+                .goto(9)
+                .goto(10),
+            StmtDesc::new(9, "10: P[u.pid][u.loc] := true")
+                .access(AccessDesc::write_any(self.p_base, all))
+                .goto(10),
+            StmtDesc::new(10, "11: if CAS(Q, u, next)")
+                .access(AccessDesc::rmw(self.q))
+                .goto(11)
+                .goto(14),
+            StmtDesc::new(11, "12: last := next.loc").goto(12),
+            StmtDesc::new(12, "13: if X < 0")
+                .access(AccessDesc::read(self.x))
+                .goto(13)
+                .goto(14),
+            StmtDesc::new(13, "14: while !P[p][next.loc] do od")
+                .access(AccessDesc::read_any(own_p, locs))
+                .goto(14)
+                .back_edge(BackEdge::spin(13)),
+            StmtDesc::new(14, "15: f&i(R[u.pid][u.loc], -1)")
+                .access(AccessDesc::rmw_any(self.r_base, all))
+                .returns(),
+        ]);
+        let mut exit = vec![
+            StmtDesc::new(0, "16: f&i(X, 1)")
+                .access(AccessDesc::rmw(self.x))
+                .goto(1),
+            StmtDesc::new(1, "17: u := Q")
+                .access(AccessDesc::read(self.q))
+                .goto(2),
+            StmtDesc::new(2, "18: f&i(R[u.pid][u.loc], 1)")
+                .access(AccessDesc::rmw_any(self.r_base, all))
+                .goto(3),
+            StmtDesc::new(3, "19: if Q = u")
+                .access(AccessDesc::read(self.q))
+                .goto(4)
+                .goto(5),
+            StmtDesc::new(4, "20: P[u.pid][u.loc] := true")
+                .access(AccessDesc::write_any(self.p_base, all))
+                .goto(5),
+        ];
+        match self.child {
+            Some(child) => {
+                exit.push(
+                    StmtDesc::new(5, "21: f&i(R[u.pid][u.loc], -1)")
+                        .access(AccessDesc::rmw_any(self.r_base, all))
+                        .call(child, Section::Exit, 6),
+                );
+                exit.push(StmtDesc::new(6, "22: Release(N, j+1) done").returns());
+            }
+            None => exit.push(
+                StmtDesc::new(5, "21: f&i(R[u.pid][u.loc], -1)")
+                    .access(AccessDesc::rmw_any(self.r_base, all))
+                    .returns(),
+            ),
+        }
+        Some(NodeDesc {
+            exclusion: Some(self.j),
+            spin_space: SpaceClass::Bounded,
+            entry,
+            exit,
+        })
     }
 }
 

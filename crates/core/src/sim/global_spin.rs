@@ -25,7 +25,8 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 
 /// The global-spin baseline node.
 pub struct GlobalSpinNode {
@@ -76,6 +77,35 @@ impl Node for GlobalSpinNode {
             _ => unreachable!("global-spin: bad pc {pc} in {sec}"),
         }
     }
+
+    fn describe(&self, _p: Pid) -> Option<NodeDesc> {
+        let entry = vec![
+            StmtDesc::new(0, "if f&i(X,-1) > 0 then CS")
+                .access(AccessDesc::rmw(self.x))
+                .goto(1)
+                .returns(),
+            StmtDesc::new(1, "f&i(X, 1) /* undo */")
+                .access(AccessDesc::rmw(self.x))
+                .goto(2),
+            // The wait both self-loops on the contended global counter
+            // (a remote spin under either model) and, once it observes
+            // X > 0, retries from statement 0 — with no bound on how
+            // often the race can be lost.
+            StmtDesc::new(2, "while X <= 0 do od; retry")
+                .access(AccessDesc::read(self.x))
+                .back_edge(BackEdge::spin(2))
+                .back_edge(BackEdge::unbounded(0)),
+        ];
+        let exit = vec![StmtDesc::new(0, "f&i(X, 1)")
+            .access(AccessDesc::rmw(self.x))
+            .returns()];
+        Some(NodeDesc {
+            exclusion: Some(self.k),
+            spin_space: SpaceClass::Bounded,
+            entry,
+            exit,
+        })
+    }
 }
 
 /// Build the baseline node as a protocol root.
@@ -119,12 +149,7 @@ mod tests {
         // Park p1 behind p0's critical section and count p1's remote
         // references while it spins: they must grow — the opposite of the
         // local-spin property checked for Figure 5.
-        let mut w = World::new(
-            protocol(2, 1),
-            MemoryModel::Dsm,
-            Timing::default(),
-            None,
-        );
+        let mut w = World::new(protocol(2, 1), MemoryModel::Dsm, Timing::default(), None);
         while !w.procs[0].phase.in_critical() {
             w.step(0);
         }

@@ -30,8 +30,9 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 use kex_sim::vars::at;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
 
 /// Sentinel for "nil" process references.
 const NIL: Word = -1;
@@ -152,6 +153,54 @@ impl Node for McsNode {
             }
             _ => unreachable!("mcs: bad pc {pc} in {sec}"),
         }
+    }
+
+    fn describe(&self, p: Pid) -> Option<NodeDesc> {
+        let my_next = at(self.next, p);
+        let my_locked = at(self.locked, p);
+        let entry = vec![
+            StmtDesc::new(0, "1: next[p] := nil")
+                .access(AccessDesc::write(my_next))
+                .goto(1),
+            StmtDesc::new(1, "2: pred := swap(tail, p)")
+                .access(AccessDesc::rmw(self.tail))
+                .goto(2)
+                .returns(),
+            StmtDesc::new(2, "3: locked[p] := true")
+                .access(AccessDesc::write(my_locked))
+                .goto(3),
+            StmtDesc::new(3, "4: next[pred] := p")
+                .access(AccessDesc::write_any(self.next, self.n))
+                .goto(4),
+            StmtDesc::new(4, "5: while locked[p] do od")
+                .access(AccessDesc::read(my_locked))
+                .returns()
+                .back_edge(BackEdge::spin(4)),
+        ];
+        let exit = vec![
+            StmtDesc::new(0, "6: if next[p] = nil")
+                .access(AccessDesc::read(my_next))
+                .goto(1)
+                .goto(3),
+            StmtDesc::new(1, "if CAS(tail, p, nil)")
+                .access(AccessDesc::rmw(self.tail))
+                .goto(2)
+                .returns(),
+            StmtDesc::new(2, "7: while next[p] = nil do od")
+                .access(AccessDesc::read(my_next))
+                .goto(3)
+                .back_edge(BackEdge::spin(2)),
+            StmtDesc::new(3, "8: locked[next[p]] := false")
+                .access(AccessDesc::read(my_next))
+                .access(AccessDesc::write_any(self.locked, self.n))
+                .returns(),
+        ];
+        Some(NodeDesc {
+            exclusion: Some(1),
+            spin_space: SpaceClass::Bounded,
+            entry,
+            exit,
+        })
     }
 }
 

@@ -43,7 +43,5 @@ pub use fig6::{fig6_chain, Fig6Stage};
 pub use global_spin::{global_spin, GlobalSpinNode};
 pub use mcs::{mcs, McsNode};
 pub use splitter::{grid_cells, splitter_assignment, splitter_grid_standalone, SplitterGridNode};
-pub use tree::{
-    tree, tree_depth, tree_depth_with_arity, tree_with_arity, BlockBuilder, TreeNode,
-};
+pub use tree::{tree, tree_depth, tree_depth_with_arity, tree_with_arity, BlockBuilder, TreeNode};
 pub use yang_anderson::{yang_anderson, YangAndersonNode};

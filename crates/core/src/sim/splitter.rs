@@ -57,8 +57,9 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 use kex_sim::vars::at;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
 
 /// Local-variable layout.
 const L_NAME: usize = 0;
@@ -127,6 +128,10 @@ impl Node for SplitterGridNode {
         } else {
             None
         }
+    }
+
+    fn assigns_names(&self) -> bool {
+        true
     }
 
     fn name_space(&self, k: usize) -> usize {
@@ -222,6 +227,53 @@ impl Node for SplitterGridNode {
             (Section::Exit, 2) => Step::Return,
             _ => unreachable!("splitter-grid: bad pc {pc} in {sec}"),
         }
+    }
+
+    fn describe(&self, _p: Pid) -> Option<NodeDesc> {
+        let cells = grid_cells(self.k);
+        // Each RIGHT/DOWN move is charged to a distinct rival: the walk
+        // re-enters the splitter at most k times in total.
+        let walk = self.k;
+        let mut entry = vec![match self.kex {
+            Some(kex) => StmtDesc::new(0, "Acquire(N, k)").call(kex, Section::Entry, 1),
+            None => StmtDesc::new(0, "(row, col) := (0, 0)").goto(2),
+        }];
+        entry.extend([
+            StmtDesc::new(1, "(row, col) := (0, 0)").goto(2),
+            StmtDesc::new(2, "X[cell] := p")
+                .access(AccessDesc::write_any(self.x_base, cells))
+                .goto(3),
+            StmtDesc::new(3, "if Y[cell] then RIGHT")
+                .access(AccessDesc::read_any(self.y_base, cells))
+                .goto(4)
+                .returns()
+                .back_edge(BackEdge::bounded(2, walk)),
+            StmtDesc::new(4, "Y[cell] := true")
+                .access(AccessDesc::write_any(self.y_base, cells))
+                .goto(5),
+            StmtDesc::new(5, "if X[cell] = p then STOP else DOWN")
+                .access(AccessDesc::read_any(self.x_base, cells))
+                .returns()
+                .back_edge(BackEdge::bounded(2, walk)),
+        ]);
+        let exit = match self.kex {
+            Some(kex) => vec![
+                StmtDesc::new(0, "Y[name] := false")
+                    .access(AccessDesc::write_any(self.y_base, cells))
+                    .goto(1),
+                StmtDesc::new(1, "Release(N, k)").call(kex, Section::Exit, 2),
+                StmtDesc::new(2, "released").returns(),
+            ],
+            None => vec![StmtDesc::new(0, "Y[name] := false")
+                .access(AccessDesc::write_any(self.y_base, cells))
+                .returns()],
+        };
+        Some(NodeDesc {
+            exclusion: None,
+            spin_space: SpaceClass::NoSpin,
+            entry,
+            exit,
+        })
     }
 }
 
@@ -329,13 +381,8 @@ mod tests {
             "expected an off-grid name, got {violation:?}"
         );
         let schedule = report.counterexample(state);
-        let trace = kex_sim::replay::replay_with(
-            proto,
-            &schedule,
-            Timing::default(),
-            Some(1),
-            None,
-        );
+        let trace =
+            kex_sim::replay::replay_with(proto, &schedule, Timing::default(), Some(1), None);
         assert!(trace.ends_in_violation(), "{trace}");
     }
 

@@ -17,9 +17,10 @@
 //! (Theorem 2) or `14k·log2⌈N/k⌉` on DSM (Theorem 6).
 
 use kex_sim::mem::MemCtx;
-use kex_sim::protocol::ProtocolBuilder;
-use kex_sim::types::{NodeId, Section, Step, Word};
 use kex_sim::node::Node;
+use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::summary::{NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, Word};
 
 /// A builder of `(m, k)`-exclusion blocks, used as the tree's (and fast
 /// path's) building block factory. Receives `(builder, m, k)` where `m`
@@ -77,6 +78,35 @@ impl Node for TreeNode {
                 ret: pc + 1,
             },
         }
+    }
+
+    fn describe(&self, p: Pid) -> Option<NodeDesc> {
+        // Pure combinator: process p's path is one block per level, leaf
+        // to root on entry and root to leaf on exit. No shared accesses
+        // of its own.
+        let d = self.levels.len();
+        let mut entry = Vec::new();
+        let mut exit = Vec::new();
+        for pc in 0..d {
+            entry.push(StmtDesc::new(pc as u32, "Acquire(level block)").call(
+                self.block_at(pc, p),
+                Section::Entry,
+                pc as u32 + 1,
+            ));
+            exit.push(StmtDesc::new(pc as u32, "Release(level block)").call(
+                self.block_at(d - 1 - pc, p),
+                Section::Exit,
+                pc as u32 + 1,
+            ));
+        }
+        entry.push(StmtDesc::new(d as u32, "root acquired").returns());
+        exit.push(StmtDesc::new(d as u32, "leaf released").returns());
+        Some(NodeDesc {
+            exclusion: None,
+            spin_space: SpaceClass::NoSpin,
+            entry,
+            exit,
+        })
     }
 }
 

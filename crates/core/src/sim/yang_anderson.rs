@@ -52,8 +52,9 @@
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
 use kex_sim::protocol::ProtocolBuilder;
+use kex_sim::summary::{AccessDesc, BackEdge, NodeDesc, SpaceClass, StmtDesc};
+use kex_sim::types::{NodeId, Pid, Section, Step, VarId, Word};
 use kex_sim::vars::at;
-use kex_sim::types::{NodeId, Section, Step, VarId, Word};
 
 /// Sentinel for "no process".
 const NIL: Word = -1;
@@ -256,6 +257,80 @@ impl Node for YangAndersonNode {
                 }
             }
         }
+    }
+
+    fn describe(&self, p: Pid) -> Option<NodeDesc> {
+        let d = self.levels.len();
+        let n = self.n;
+        let mut entry = Vec::new();
+        for level in 0..d {
+            let inst = self.instance(level, p);
+            let side = Self::side(level, p);
+            let own_flag = at(inst.p_base, p);
+            let base = (level * STRIDE as usize) as u32;
+            entry.extend([
+                StmtDesc::new(base, "1: C[side] := p")
+                    .access(AccessDesc::write(at(inst.c, side)))
+                    .goto(base + 1),
+                StmtDesc::new(base + 1, "2: T := p")
+                    .access(AccessDesc::write(inst.t))
+                    .goto(base + 2),
+                StmtDesc::new(base + 2, "3: P[p] := 0")
+                    .access(AccessDesc::write(own_flag))
+                    .goto(base + 3),
+                StmtDesc::new(base + 3, "4: rival := C[1-side]")
+                    .access(AccessDesc::read(at(inst.c, 1 - side)))
+                    .goto(base + 4),
+                StmtDesc::new(base + 4, "5: if rival != nil and T = p")
+                    .access(AccessDesc::read(inst.t))
+                    .goto(base + 5)
+                    .goto(base + STRIDE),
+                StmtDesc::new(base + 5, "6: if P[rival] = 0 then P[rival] := 1")
+                    .access(AccessDesc::read_any(inst.p_base, n))
+                    .access(AccessDesc::write_any(inst.p_base, n))
+                    .goto(base + 6),
+                StmtDesc::new(base + 6, "7: while P[p] = 0 do od")
+                    .access(AccessDesc::read(own_flag))
+                    .goto(base + 7)
+                    .back_edge(BackEdge::spin(base + 6)),
+                StmtDesc::new(base + 7, "8: if T = p")
+                    .access(AccessDesc::read(inst.t))
+                    .goto(base + 8)
+                    .goto(base + STRIDE),
+                StmtDesc::new(base + 8, "9: while P[p] <= 1 do od")
+                    .access(AccessDesc::read(own_flag))
+                    .goto(base + STRIDE)
+                    .back_edge(BackEdge::spin(base + 8)),
+            ]);
+        }
+        entry.push(StmtDesc::new((d * STRIDE as usize) as u32, "all rounds won").returns());
+        let mut exit = Vec::new();
+        for round in 0..d {
+            let level = d - 1 - round;
+            let inst = self.instance(level, p);
+            let side = Self::side(level, p);
+            let base = (round * STRIDE_EXIT as usize) as u32;
+            exit.extend([
+                StmtDesc::new(base, "10: C[side] := nil")
+                    .access(AccessDesc::write(at(inst.c, side)))
+                    .goto(base + 1),
+                StmtDesc::new(base + 1, "11: rival := T")
+                    .access(AccessDesc::read(inst.t))
+                    .goto(base + 2),
+                StmtDesc::new(base + 2, "12: if rival != p then P[rival] := 2")
+                    .access(AccessDesc::write_any(inst.p_base, n))
+                    .goto(base + STRIDE_EXIT),
+            ]);
+        }
+        exit.push(
+            StmtDesc::new((d * STRIDE_EXIT as usize) as u32, "all rounds released").returns(),
+        );
+        Some(NodeDesc {
+            exclusion: Some(1),
+            spin_space: SpaceClass::Bounded,
+            entry,
+            exit,
+        })
     }
 }
 

@@ -13,8 +13,8 @@
 
 use std::fmt;
 
-use crate::world::World;
 use crate::types::{Pid, Word};
+use crate::world::World;
 
 /// A detected safety violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +68,10 @@ impl fmt::Display for Violation {
                 "k-assignment violated: process {pid} holds name {name} outside 0..{k}"
             ),
             Violation::MissingName { pid } => {
-                write!(f, "k-assignment violated: critical process {pid} holds no name")
+                write!(
+                    f,
+                    "k-assignment violated: critical process {pid} holds no name"
+                )
             }
         }
     }
@@ -101,10 +104,7 @@ pub fn check_safety(world: &World) -> Result<(), Violation> {
     // Name checks apply only if the root assigns names. Detect that by
     // querying the first critical process; roots that never assign names
     // return None for everyone and are exempt.
-    let name_space = world
-        .protocol
-        .node(world.protocol.root())
-        .name_space(k);
+    let name_space = world.protocol.node(world.protocol.root()).name_space(k);
     let mut seen: Vec<(Word, Pid)> = Vec::with_capacity(critical.len());
     let mut assigns = false;
     for &p in &critical {
@@ -178,6 +178,113 @@ mod tests {
         w.step(0);
         w.step(0);
         assert_eq!(w.procs[0].phase, Phase::Critical { remaining: 0 });
+        assert!(check_safety(&w).is_ok());
+    }
+
+    /// A deliberately broken namer: process `p` acquires name
+    /// `p + offset`, except `skip_pid`, which acquires no name at all.
+    /// Exercises the assignment-side violations the real algorithms
+    /// never produce.
+    struct BadNamer {
+        offset: Word,
+        skip_pid: Option<Pid>,
+    }
+
+    impl crate::node::Node for BadNamer {
+        fn name(&self) -> String {
+            "bad-namer".to_owned()
+        }
+
+        fn locals_len(&self) -> usize {
+            1
+        }
+
+        fn assigns_names(&self) -> bool {
+            true
+        }
+
+        fn acquired_name(&self, locals: &[Word]) -> Option<Word> {
+            if locals[0] == 0 {
+                None
+            } else {
+                Some(locals[0] - 1)
+            }
+        }
+
+        fn step(
+            &self,
+            sec: crate::types::Section,
+            _pc: u32,
+            locals: &mut [Word],
+            mem: &mut crate::mem::MemCtx<'_>,
+        ) -> crate::types::Step {
+            let p = mem.pid();
+            match sec {
+                crate::types::Section::Entry => {
+                    locals[0] = if self.skip_pid == Some(p) {
+                        0
+                    } else {
+                        p as Word + self.offset + 1
+                    };
+                }
+                crate::types::Section::Exit => locals[0] = 0,
+            }
+            crate::types::Step::Return
+        }
+    }
+
+    fn namer_world(n: usize, k: usize, offset: Word, skip_pid: Option<Pid>) -> World {
+        let mut b = ProtocolBuilder::new(n);
+        let root = b.add(BadNamer { offset, skip_pid });
+        let p = b.finish(root, k);
+        World::new(p, MemoryModel::CacheCoherent, Timing::default(), None)
+    }
+
+    #[test]
+    fn out_of_range_name_is_reported_with_the_offending_pid() {
+        // k = 2 (name space 0..2); process 0 grabs name 2.
+        let mut w = namer_world(3, 2, 2, None);
+        w.step(0);
+        w.step(0);
+        assert!(w.procs[0].phase.in_critical());
+        let err = check_safety(&w).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::NameOutOfRange {
+                name: 2,
+                k: 2,
+                pid: 0
+            }
+        );
+        assert!(err
+            .to_string()
+            .contains("process 0 holds name 2 outside 0..2"));
+    }
+
+    #[test]
+    fn missing_name_is_reported_with_the_offending_pid() {
+        // Process 0 acquires name 0; process 1 enters the critical
+        // section holding no name at all.
+        let mut w = namer_world(3, 2, 0, Some(1));
+        for p in 0..2 {
+            w.step(p);
+            w.step(p);
+            assert!(w.procs[p].phase.in_critical());
+        }
+        let err = check_safety(&w).unwrap_err();
+        assert_eq!(err, Violation::MissingName { pid: 1 });
+        assert!(err.to_string().contains("critical process 1 holds no name"));
+    }
+
+    #[test]
+    fn distinct_in_range_names_pass() {
+        // Processes 0 and 1 acquire names 0 and 1: distinct and within
+        // 0..k — the assignment checks must stay quiet.
+        let mut w = namer_world(3, 2, 0, None);
+        for p in 0..2 {
+            w.step(p);
+            w.step(p);
+        }
         assert!(check_safety(&w).is_ok());
     }
 }

@@ -24,8 +24,8 @@ use std::sync::Arc;
 use crate::checker::{check_safety, Violation};
 use crate::memmodel::MemoryModel;
 use crate::protocol::Protocol;
-use crate::world::{Timing, World};
 use crate::types::{Pid, Word};
+use crate::world::{Timing, World};
 
 /// A transition label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,7 +134,11 @@ impl ExploreReport {
     /// Panic with a readable message on any safety or invariant failure,
     /// or on truncation (a truncated exploration proves nothing).
     pub fn assert_ok(&self) {
-        assert!(!self.truncated, "exploration truncated at {} states", self.states);
+        assert!(
+            !self.truncated,
+            "exploration truncated at {} states",
+            self.states
+        );
         if let Some((s, v)) = &self.violation {
             panic!("safety violation in state {s}: {v}");
         }
@@ -209,12 +213,7 @@ pub fn explore_with(
     cfg: &ExploreConfig,
     invariant: impl Fn(&World) -> Result<(), String>,
 ) -> ExploreReport {
-    let mut initial = World::new(
-        protocol.clone(),
-        cfg.model,
-        cfg.timing,
-        cfg.cycles,
-    );
+    let mut initial = World::new(protocol.clone(), cfg.model, cfg.timing, cfg.cycles);
     if let Some(parts) = &cfg.participants {
         initial.restrict_participants(parts);
     }
@@ -233,10 +232,10 @@ pub fn explore_with(
     let mut invariant_failure = None;
 
     let intern = |w: &World,
-                      index: &mut HashMap<Rc<[Word]>, u32>,
-                      encoded: &mut Vec<Rc<[Word]>>,
-                      edges: &mut Vec<Vec<(Label, u32)>>,
-                      flags: &mut Vec<StateFlags>|
+                  index: &mut HashMap<Rc<[Word]>, u32>,
+                  encoded: &mut Vec<Rc<[Word]>>,
+                  edges: &mut Vec<Vec<(Label, u32)>>,
+                  flags: &mut Vec<StateFlags>|
      -> (u32, bool) {
         let enc: Rc<[Word]> = w.encode().into();
         if let Some(&id) = index.get(&enc) {
@@ -271,7 +270,12 @@ pub fn explore_with(
         if violation.is_some() || invariant_failure.is_some() {
             break;
         }
-        let w = World::decode(protocol.clone(), cfg.model, cfg.timing, &encoded[id as usize]);
+        let w = World::decode(
+            protocol.clone(),
+            cfg.model,
+            cfg.timing,
+            &encoded[id as usize],
+        );
         let failed_count = w.procs.iter().filter(|p| p.failed).count();
 
         // Process-step transitions.

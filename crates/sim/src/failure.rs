@@ -13,8 +13,8 @@
 //! `k` slots forever.
 
 use crate::process::Phase;
-use crate::world::World;
 use crate::types::Pid;
+use crate::world::World;
 
 /// When a victim stops taking steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -67,6 +67,7 @@ pub mod replay;
 pub mod sched;
 pub mod sim;
 pub mod stats;
+pub mod summary;
 pub mod types;
 pub mod world;
 
@@ -74,7 +75,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::checker::{check_safety, Violation};
     pub use crate::explore::{explore, explore_with, ExploreConfig, ExploreReport, Label};
-    pub use crate::failure::{FailurePlan, FailureSpec, FailWhen};
+    pub use crate::failure::{FailWhen, FailurePlan, FailureSpec};
     pub use crate::liveness::{check_starvation_freedom, Starvation};
     pub use crate::mem::{MemCtx, MemState};
     pub use crate::memmodel::MemoryModel;
@@ -85,6 +86,10 @@ pub mod prelude {
     pub use crate::sched::{RandomSched, RoundRobin, Scheduler, SkewedSched, VictimSched};
     pub use crate::sim::{RunReport, Sim, StopReason};
     pub use crate::stats::{Aggregate, Stats};
+    pub use crate::summary::{
+        AccessDesc, AccessKind, BackEdge, BackKind, NodeDesc, SpaceClass, StmtDesc, SuccDesc,
+        VarRef,
+    };
     pub use crate::types::{NodeId, Pid, Section, Step, VarId, Word};
     pub use crate::vars::{at, VarTable};
     pub use crate::world::{Event, Timing, World};

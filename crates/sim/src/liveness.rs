@@ -206,8 +206,7 @@ fn tarjan_scc(report: &ExploreReport, keep: &[bool]) -> Vec<Vec<u32>> {
             }
             call.pop();
             if let Some(&mut (parent, _)) = call.last_mut() {
-                lowlink[parent as usize] =
-                    lowlink[parent as usize].min(lowlink[v as usize]);
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
             }
         }
     }
@@ -236,13 +235,7 @@ mod tests {
             "tas-lock".into()
         }
 
-        fn step(
-            &self,
-            sec: Section,
-            _pc: u32,
-            _locals: &mut [Word],
-            mem: &mut MemCtx<'_>,
-        ) -> Step {
+        fn step(&self, sec: Section, _pc: u32, _locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step {
             match sec {
                 Section::Entry => {
                     if mem.test_and_set(self.bit) {
@@ -289,13 +282,7 @@ mod tests {
             "turn-lock".into()
         }
 
-        fn step(
-            &self,
-            sec: Section,
-            _pc: u32,
-            _locals: &mut [Word],
-            mem: &mut MemCtx<'_>,
-        ) -> Step {
+        fn step(&self, sec: Section, _pc: u32, _locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step {
             match sec {
                 Section::Entry => {
                     if mem.read(self.turn) == mem.pid() as Word {

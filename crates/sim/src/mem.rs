@@ -12,8 +12,8 @@
 //! decrement), `compare_and_swap`, and `test_and_set`.
 
 use crate::memmodel::{classify_read, classify_write, HolderSet, MemoryModel};
-use crate::vars::VarTable;
 use crate::types::{Pid, VarId, Word};
+use crate::vars::VarTable;
 
 /// Mutable state of the shared memory: variable values, cache state, and
 /// RMR accounting. Cheap to clone (model checking relies on this).

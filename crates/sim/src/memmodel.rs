@@ -44,6 +44,30 @@ impl MemoryModel {
 /// Maximum number of processes supported by the cache-holder bitsets.
 pub const MAX_PROCESSES: usize = 64;
 
+/// Typed error for process universes the CC cache-holder bitsets cannot
+/// represent: with `n > MAX_PROCESSES`, [`HolderSet`]'s `u64` would shift
+/// out of range and silently mis-account CC locality, so builders refuse
+/// such universes up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityExceeded {
+    /// The requested process count.
+    pub requested: usize,
+    /// The supported maximum ([`MAX_PROCESSES`]).
+    pub max: usize,
+}
+
+impl std::fmt::Display for CapacityExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} processes requested but the cache-holder bitsets support at most {}",
+            self.requested, self.max
+        )
+    }
+}
+
+impl std::error::Error for CapacityExceeded {}
+
 /// The set of processes holding a valid cached copy of a variable
 /// (cache-coherent model only). A `u64` bitset, hence [`MAX_PROCESSES`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -17,6 +17,7 @@
 //! or the Figure 3 tree need no host-stack recursion.
 
 use crate::mem::MemCtx;
+use crate::summary::NodeDesc;
 use crate::types::{Pid, Section, Step, Word};
 
 /// One algorithm module: a pair of entry/exit sections made of numbered
@@ -55,6 +56,15 @@ pub trait Node: Send + Sync {
         None
     }
 
+    /// Does this node assign names (k-assignment / renaming)?
+    ///
+    /// Distinguishes true renaming roots from plain exclusion nodes
+    /// *statically* (the dynamic checker infers it from observed names);
+    /// the analyzer's name-space check only applies where this is true.
+    fn assigns_names(&self) -> bool {
+        false
+    }
+
     /// The size of this node's name space, given the protocol's `k`.
     ///
     /// Figure-7 k-assignment uses exactly `k` (the default); renaming
@@ -63,6 +73,18 @@ pub trait Node: Send + Sync {
     /// checker validates held names against this bound.
     fn name_space(&self, k: usize) -> usize {
         k
+    }
+
+    /// Structural self-description of this node's statements for
+    /// process `p`: per-statement shared accesses, control flow, and
+    /// loop classification (see [`crate::summary`]).
+    ///
+    /// `None` (the default) means "not describable" — the static
+    /// analyzer reports such nodes instead of silently skipping them.
+    /// Every shipped algorithm node implements this.
+    fn describe(&self, p: Pid) -> Option<NodeDesc> {
+        let _ = p;
+        None
     }
 }
 
@@ -79,6 +101,10 @@ impl Node for SkipNode {
 
     fn step(&self, _sec: Section, _pc: u32, _locals: &mut [Word], _mem: &mut MemCtx<'_>) -> Step {
         Step::Return
+    }
+
+    fn describe(&self, _p: Pid) -> Option<NodeDesc> {
+        Some(NodeDesc::empty())
     }
 }
 

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use crate::memmodel::MAX_PROCESSES;
+use crate::memmodel::{CapacityExceeded, MAX_PROCESSES};
 use crate::node::Node;
 use crate::types::{NodeId, Pid, Word};
 use crate::vars::VarTable;
@@ -117,18 +117,36 @@ impl ProtocolBuilder {
     /// Start building a protocol for `n` processes.
     ///
     /// # Panics
-    /// Panics if `n` is 0 or exceeds [`MAX_PROCESSES`].
+    /// Panics if `n` is 0 or exceeds [`MAX_PROCESSES`]; use
+    /// [`ProtocolBuilder::try_new`] to handle the capacity limit as a
+    /// typed error instead.
     pub fn new(n: usize) -> Self {
+        match Self::try_new(n) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`CapacityExceeded`] when `n` is
+    /// beyond what the CC cache-holder bitsets can account for, instead
+    /// of panicking.
+    ///
+    /// # Panics
+    /// Still panics if `n` is 0 (an empty process universe is a caller
+    /// bug, not a capacity question).
+    pub fn try_new(n: usize) -> Result<Self, CapacityExceeded> {
         assert!(n > 0, "a protocol needs at least one process");
-        assert!(
-            n <= MAX_PROCESSES,
-            "at most {MAX_PROCESSES} processes are supported (cache bitsets)"
-        );
-        ProtocolBuilder {
+        if n > MAX_PROCESSES {
+            return Err(CapacityExceeded {
+                requested: n,
+                max: MAX_PROCESSES,
+            });
+        }
+        Ok(ProtocolBuilder {
             vars: VarTable::new(),
             nodes: Vec::new(),
             n,
-        }
+        })
     }
 
     /// Number of processes the protocol is being built for.
@@ -152,7 +170,11 @@ impl ProtocolBuilder {
     /// `1..n`.
     pub fn finish(self, root: NodeId, k: usize) -> Arc<Protocol> {
         assert!(root.index() < self.nodes.len(), "unknown root node");
-        assert!(k >= 1 && k < self.n, "require 1 <= k < N (got k={k}, N={})", self.n);
+        assert!(
+            k >= 1 && k < self.n,
+            "require 1 <= k < N (got k={k}, N={})",
+            self.n
+        );
         let mut locals_offset = Vec::with_capacity(self.nodes.len());
         let mut total = 0usize;
         for node in &self.nodes {
@@ -196,5 +218,30 @@ mod tests {
         let mut b = ProtocolBuilder::new(3);
         let r = b.add(SkipNode);
         let _ = b.finish(r, 3);
+    }
+
+    #[test]
+    fn capacity_boundary_is_exact() {
+        // MAX_PROCESSES itself is representable (bit 63 of the holder
+        // bitset); one past it would shift out of range and silently
+        // mis-account CC locality, so it must be a typed error.
+        assert!(ProtocolBuilder::try_new(MAX_PROCESSES).is_ok());
+        let Err(err) = ProtocolBuilder::try_new(MAX_PROCESSES + 1) else {
+            panic!("n = {} must be rejected", MAX_PROCESSES + 1);
+        };
+        assert_eq!(
+            err,
+            CapacityExceeded {
+                requested: MAX_PROCESSES + 1,
+                max: MAX_PROCESSES
+            }
+        );
+        assert!(err.to_string().contains("65 processes requested"));
+    }
+
+    #[test]
+    #[should_panic(expected = "65 processes requested")]
+    fn infallible_constructor_panics_with_the_typed_message() {
+        let _ = ProtocolBuilder::new(MAX_PROCESSES + 1);
     }
 }

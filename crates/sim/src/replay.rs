@@ -17,8 +17,8 @@ use crate::explore::Label;
 use crate::memmodel::MemoryModel;
 use crate::process::Phase;
 use crate::protocol::Protocol;
-use crate::world::{Timing, World};
 use crate::types::Pid;
+use crate::world::{Timing, World};
 
 /// One replayed transition.
 #[derive(Debug, Clone)]
@@ -211,13 +211,7 @@ mod tests {
             "broken".into()
         }
 
-        fn step(
-            &self,
-            sec: Section,
-            _pc: u32,
-            _locals: &mut [Word],
-            mem: &mut MemCtx<'_>,
-        ) -> Step {
+        fn step(&self, sec: Section, _pc: u32, _locals: &mut [Word], mem: &mut MemCtx<'_>) -> Step {
             match sec {
                 Section::Entry => {
                     mem.fetch_and_increment(self.x, 1); // no check at all
@@ -246,7 +240,10 @@ mod tests {
         let schedule = report.counterexample(state);
         assert!(!schedule.is_empty());
         let trace = replay(proto, &schedule);
-        assert!(trace.ends_in_violation(), "replay must reproduce it:\n{trace}");
+        assert!(
+            trace.ends_in_violation(),
+            "replay must reproduce it:\n{trace}"
+        );
         assert_eq!(trace.final_verdict.clone().unwrap_err(), violation);
         // The rendering is non-empty and mentions the violating node.
         let text = trace.to_string();
@@ -308,13 +305,7 @@ mod tests {
         let report = sim.run(10_000);
         let schedule = report.schedule.expect("recording was enabled");
         assert_eq!(schedule.len() as u64, report.steps);
-        let trace = replay_with(
-            proto,
-            &schedule,
-            Timing::default(),
-            Some(4),
-            Some(&[0, 1]),
-        );
+        let trace = replay_with(proto, &schedule, Timing::default(), Some(4), Some(&[0, 1]));
         // Same number of transitions, same safety verdict at the end.
         assert_eq!(trace.steps.len(), schedule.len());
         assert_eq!(

@@ -17,8 +17,7 @@
 //! Exhaustive interleaving coverage for small instances is the job of the
 //! model checker in [`crate::explore`], not of a scheduler.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use kex_util::rng::SmallRng;
 
 use crate::types::Pid;
 
@@ -157,10 +156,10 @@ impl Scheduler for VictimSched {
             .copied()
             .filter(|&p| p != self.victim)
             .collect();
-        if others.is_empty() || self.ticks % self.relent == 0 {
-            if runnable.contains(&self.victim) {
-                return self.victim;
-            }
+        if (others.is_empty() || self.ticks.is_multiple_of(self.relent))
+            && runnable.contains(&self.victim)
+        {
+            return self.victim;
         }
         if others.is_empty() {
             runnable[0]

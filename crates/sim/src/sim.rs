@@ -11,8 +11,8 @@ use crate::memmodel::MemoryModel;
 use crate::protocol::Protocol;
 use crate::sched::{RoundRobin, Scheduler};
 use crate::stats::Stats;
-use crate::world::{Event, Timing, World};
 use crate::types::Pid;
+use crate::world::{Event, Timing, World};
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

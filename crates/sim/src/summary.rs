@@ -1,0 +1,389 @@
+//! Structural self-description of algorithm nodes: the access-summary
+//! IR that static analyses (the `kex-analyze` crate) consume.
+//!
+//! A [`NodeDesc`] mirrors a node's two sections as lists of
+//! [`StmtDesc`]s — one per numbered atomic statement — each declaring:
+//!
+//! * the **shared-variable accesses** the statement performs
+//!   ([`AccessDesc`]: which variable(s), read/write/RMW, and the
+//!   worst-case repeat count inside the single atomic step);
+//! * the **forward control-flow successors** ([`SuccDesc`]); and
+//! * at most one **back edge** ([`BackEdge`]), classified as a busy-wait
+//!   spin, a statically bounded retry loop, or an unbounded retry.
+//!
+//! Descriptions are *per process* ([`crate::node::Node::describe`] takes
+//! a pid) because many algorithms index shared arrays by the caller's
+//! pid — `P[p][..]`, `Spin[p]` — and locality under the DSM model
+//! depends on exactly which element is touched.
+//!
+//! The contract an implementation must uphold (checked by the
+//! analyzer's validator): statements are numbered densely from 0 in
+//! order; every `Goto`/`Call` return target moves strictly forward
+//! (loops are expressed only through the back edge); the back edge
+//! targets a pc at or before its own statement. Removing back edges
+//! therefore leaves a DAG, which is what makes worst-case path analysis
+//! well defined.
+
+use crate::types::{NodeId, Section, VarId};
+
+/// How a statement touches a shared variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Plain read.
+    Read,
+    /// Plain write.
+    Write,
+    /// Read-modify-write (`fetch&increment`, `swap`, `CAS`,
+    /// `test&set`, ...).
+    Rmw,
+}
+
+/// The variable(s) a single access may touch. Statements whose target
+/// depends on runtime data (e.g. Figure 6's `P[u.pid][u.loc]`) declare
+/// the full contiguous candidate range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarRef {
+    /// Exactly this variable.
+    One(VarId),
+    /// Any element of the contiguous array `base .. base+len`.
+    Range {
+        /// First element (as returned by `VarTable::alloc_array`).
+        base: VarId,
+        /// Number of elements.
+        len: usize,
+    },
+}
+
+impl VarRef {
+    /// Number of candidate variables.
+    pub fn len(&self) -> usize {
+        match self {
+            VarRef::One(_) => 1,
+            VarRef::Range { len, .. } => *len,
+        }
+    }
+
+    /// Always false: an access names at least one variable.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over the candidate variable ids.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        let (base, len) = match self {
+            VarRef::One(v) => (*v, 1),
+            VarRef::Range { base, len } => (*base, *len),
+        };
+        (0..len).map(move |i| crate::vars::at(base, i))
+    }
+}
+
+/// One declared shared-memory access within a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessDesc {
+    /// Candidate target variable(s).
+    pub var: VarRef,
+    /// Read / write / RMW.
+    pub kind: AccessKind,
+    /// Worst-case number of times the access repeats inside this one
+    /// atomic statement (1 for ordinary statements; `n`-ish for the
+    /// Figure-1 queue scans — exactly what the atomic-section lint
+    /// flags).
+    pub multiplicity: usize,
+}
+
+impl AccessDesc {
+    /// A single read of `v`.
+    pub fn read(v: VarId) -> Self {
+        AccessDesc {
+            var: VarRef::One(v),
+            kind: AccessKind::Read,
+            multiplicity: 1,
+        }
+    }
+
+    /// A single write of `v`.
+    pub fn write(v: VarId) -> Self {
+        AccessDesc {
+            var: VarRef::One(v),
+            kind: AccessKind::Write,
+            multiplicity: 1,
+        }
+    }
+
+    /// A single RMW of `v`.
+    pub fn rmw(v: VarId) -> Self {
+        AccessDesc {
+            var: VarRef::One(v),
+            kind: AccessKind::Rmw,
+            multiplicity: 1,
+        }
+    }
+
+    /// A read that may land anywhere in `base..base+len`.
+    pub fn read_any(base: VarId, len: usize) -> Self {
+        AccessDesc {
+            var: VarRef::Range { base, len },
+            kind: AccessKind::Read,
+            multiplicity: 1,
+        }
+    }
+
+    /// A write that may land anywhere in `base..base+len`.
+    pub fn write_any(base: VarId, len: usize) -> Self {
+        AccessDesc {
+            var: VarRef::Range { base, len },
+            kind: AccessKind::Write,
+            multiplicity: 1,
+        }
+    }
+
+    /// An RMW that may land anywhere in `base..base+len`.
+    pub fn rmw_any(base: VarId, len: usize) -> Self {
+        AccessDesc {
+            var: VarRef::Range { base, len },
+            kind: AccessKind::Rmw,
+            multiplicity: 1,
+        }
+    }
+
+    /// Repeat this access up to `m` times within the statement.
+    pub fn times(mut self, m: usize) -> Self {
+        self.multiplicity = m;
+        self
+    }
+}
+
+/// A forward control-flow successor of a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuccDesc {
+    /// Continue at this (strictly later) pc in the same section.
+    Goto(u32),
+    /// Invoke a child node's section, resuming at `ret` afterwards.
+    Call {
+        /// Child node invoked.
+        child: NodeId,
+        /// Which of the child's sections runs.
+        section: Section,
+        /// The (strictly later) pc execution resumes at.
+        ret: u32,
+    },
+    /// The section completes.
+    Return,
+}
+
+/// Classification of a statement's back edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackKind {
+    /// A busy-wait: the statement repeats until *another process*
+    /// changes the spin target. The local-spin audit examines exactly
+    /// these.
+    Spin,
+    /// A retry loop that provably iterates at most this many times
+    /// regardless of scheduling (e.g. Figure 7's walk over `k` name
+    /// bits).
+    Bounded(usize),
+    /// A retry loop with no static bound that is *not* a simple wait —
+    /// the shape that makes the global-spin baseline generate unbounded
+    /// remote traffic.
+    Unbounded,
+}
+
+/// One back edge leaving a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackEdge {
+    /// Target pc, `<=` the statement's own pc (equal for self-loops).
+    pub to: u32,
+    /// What kind of repetition this is.
+    pub kind: BackKind,
+}
+
+impl BackEdge {
+    /// A self-loop busy-wait at `pc`.
+    pub fn spin(pc: u32) -> Self {
+        BackEdge {
+            to: pc,
+            kind: BackKind::Spin,
+        }
+    }
+
+    /// A bounded retry back to `to`.
+    pub fn bounded(to: u32, iters: usize) -> Self {
+        BackEdge {
+            to,
+            kind: BackKind::Bounded(iters),
+        }
+    }
+
+    /// An unbounded retry back to `to`.
+    pub fn unbounded(to: u32) -> Self {
+        BackEdge {
+            to,
+            kind: BackKind::Unbounded,
+        }
+    }
+}
+
+/// Description of one atomic statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtDesc {
+    /// Statement number within its section (dense from 0).
+    pub pc: u32,
+    /// Human-readable rendering, e.g. `"x := f&i(X, -1)"`.
+    pub label: &'static str,
+    /// Shared accesses this statement performs.
+    pub accesses: Vec<AccessDesc>,
+    /// Forward successors (targets strictly greater than `pc`).
+    pub succ: Vec<SuccDesc>,
+    /// Back edges (the only way to express loops). A statement may
+    /// carry several — e.g. the global-spin baseline's wait both
+    /// self-loops (a spin) and retries from statement 0 (unbounded).
+    pub back: Vec<BackEdge>,
+}
+
+impl StmtDesc {
+    /// A statement with no accesses and a single forward successor.
+    pub fn new(pc: u32, label: &'static str) -> Self {
+        StmtDesc {
+            pc,
+            label,
+            accesses: Vec::new(),
+            succ: Vec::new(),
+            back: Vec::new(),
+        }
+    }
+
+    /// Add an access.
+    pub fn access(mut self, a: AccessDesc) -> Self {
+        self.accesses.push(a);
+        self
+    }
+
+    /// Add a forward `Goto` successor.
+    pub fn goto(mut self, pc: u32) -> Self {
+        self.succ.push(SuccDesc::Goto(pc));
+        self
+    }
+
+    /// Add a `Call` successor.
+    pub fn call(mut self, child: NodeId, section: Section, ret: u32) -> Self {
+        self.succ.push(SuccDesc::Call {
+            child,
+            section,
+            ret,
+        });
+        self
+    }
+
+    /// Add a `Return` successor.
+    pub fn returns(mut self) -> Self {
+        self.succ.push(SuccDesc::Return);
+        self
+    }
+
+    /// Add a back edge.
+    pub fn back_edge(mut self, b: BackEdge) -> Self {
+        self.back.push(b);
+        self
+    }
+}
+
+/// Declared spin-location space of a node, per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceClass {
+    /// The node never busy-waits.
+    NoSpin,
+    /// The node spins on a statically bounded set of locations per
+    /// process (count them from the IR).
+    Bounded,
+    /// The paper-true algorithm needs unboundedly many spin locations
+    /// per process (Figure 5); the IR's finite range is a simulation
+    /// artifact (`max_locs`).
+    Unbounded,
+}
+
+/// Full structural self-description of a node, for one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDesc {
+    /// The node's own exclusion parameter — the `k` of the paper figure
+    /// this node instantiates (e.g. a Figure-6 stage admitting `j`
+    /// processes declares `Some(j)`). `None` for combinators and
+    /// non-exclusion nodes.
+    pub exclusion: Option<usize>,
+    /// Declared spin-space class (cross-checked against the IR by the
+    /// bounded-space analysis).
+    pub spin_space: SpaceClass,
+    /// Entry-section statements.
+    pub entry: Vec<StmtDesc>,
+    /// Exit-section statements.
+    pub exit: Vec<StmtDesc>,
+}
+
+impl NodeDesc {
+    /// An empty description (no statements — both sections return
+    /// immediately, like `skip`).
+    pub fn empty() -> Self {
+        NodeDesc {
+            exclusion: None,
+            spin_space: SpaceClass::NoSpin,
+            entry: vec![StmtDesc::new(0, "skip").returns()],
+            exit: vec![StmtDesc::new(0, "skip").returns()],
+        }
+    }
+
+    /// The statements of `section`.
+    pub fn section(&self, section: Section) -> &[StmtDesc] {
+        match section {
+            Section::Entry => &self.entry,
+            Section::Exit => &self.exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::VarId;
+
+    fn v(i: u32) -> VarId {
+        // Test-only: VarId is crate-private to construct; mirror the
+        // allocator by building a table.
+        let mut t = crate::vars::VarTable::new();
+        let base = t.alloc("a", 0);
+        for _ in 0..i {
+            t.alloc("a", 0);
+        }
+        crate::vars::at(base, i as usize)
+    }
+
+    #[test]
+    fn varref_iterates_contiguously() {
+        let r = VarRef::Range { base: v(2), len: 3 };
+        let ids: Vec<usize> = r.iter().map(|x| x.index()).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(VarRef::One(v(0)).len(), 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = StmtDesc::new(2, "x := f&i(X, -1)")
+            .access(AccessDesc::rmw(v(0)))
+            .access(AccessDesc::read(v(1)).times(4))
+            .goto(3)
+            .back_edge(BackEdge::bounded(1, 7));
+        assert_eq!(s.pc, 2);
+        assert_eq!(s.accesses.len(), 2);
+        assert_eq!(s.accesses[1].multiplicity, 4);
+        assert_eq!(s.succ, vec![SuccDesc::Goto(3)]);
+        assert_eq!(s.back, vec![BackEdge::bounded(1, 7)]);
+    }
+
+    #[test]
+    fn empty_desc_is_skip_shaped() {
+        let d = NodeDesc::empty();
+        assert_eq!(d.section(Section::Entry).len(), 1);
+        assert_eq!(d.section(Section::Exit)[0].succ, vec![SuccDesc::Return]);
+        assert_eq!(d.spin_space, SpaceClass::NoSpin);
+    }
+}

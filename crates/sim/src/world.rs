@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use crate::memmodel::MemoryModel;
 use crate::mem::MemState;
+use crate::memmodel::MemoryModel;
 use crate::process::{Frame, Phase, ProcState};
 use crate::protocol::Protocol;
 use crate::types::{Pid, Section, Step, Word};
@@ -147,7 +147,10 @@ impl World {
     /// Panics if `p` is not runnable (failed or done): schedulers must
     /// only pick runnable processes.
     pub fn step(&mut self, p: Pid) -> Event {
-        assert!(self.procs[p].runnable(), "stepped a non-runnable process {p}");
+        assert!(
+            self.procs[p].runnable(),
+            "stepped a non-runnable process {p}"
+        );
         self.procs[p].steps += 1;
         match self.procs[p].phase {
             Phase::Noncritical { remaining } => {
@@ -291,9 +294,13 @@ impl World {
             let (tag, arg) = (words[idx], words[idx + 1]);
             idx += 2;
             let phase = match (tag, arg) {
-                (0, r) => Phase::Noncritical { remaining: r as u32 },
+                (0, r) => Phase::Noncritical {
+                    remaining: r as u32,
+                },
                 (1, _) => Phase::Entry,
-                (2, r) => Phase::Critical { remaining: r as u32 },
+                (2, r) => Phase::Critical {
+                    remaining: r as u32,
+                },
                 (3, _) => Phase::Exit,
                 (4, _) => Phase::Done,
                 (tag, _) => panic!("bad phase tag {tag}"),
@@ -421,12 +428,7 @@ mod tests {
         w.step(1); // p1 critical
         w.fail(2);
         let enc = w.encode();
-        let w2 = World::decode(
-            w.protocol.clone(),
-            w.model,
-            w.timing,
-            &enc,
-        );
+        let w2 = World::decode(w.protocol.clone(), w.model, w.timing, &enc);
         assert_eq!(w2.encode(), enc);
         assert_eq!(w2.procs[1].phase, w.procs[1].phase);
         assert!(w2.procs[2].failed);

@@ -1,10 +1,14 @@
-//! Property-based tests of the simulator substrate itself: state
+//! Property-style tests of the simulator substrate itself: state
 //! encode/decode round-trips, deterministic replay, scheduler fairness,
 //! and memory-model accounting laws.
+//!
+//! Each test sweeps a deterministic family of seeded cases (a fixed
+//! PRNG stream drives the "random" inputs), so failures reproduce
+//! exactly without an external property-testing runtime.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use kex_util::rng::SmallRng;
 
 use kex_sim::mem::MemCtx;
 use kex_sim::node::Node;
@@ -65,19 +69,20 @@ fn ticketish_protocol(n: usize) -> Arc<Protocol> {
     b.finish(root, n - 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// decode(encode(w)) re-encodes identically at every point of a
-    /// random execution.
-    #[test]
-    fn encode_decode_round_trips_anywhere(
-        n in 2usize..6,
-        steps in 0usize..200,
-        seed in any::<u64>(),
-    ) {
+/// decode(encode(w)) re-encodes identically at every point of a random
+/// execution.
+#[test]
+fn encode_decode_round_trips_anywhere() {
+    let mut gen = SmallRng::seed_from_u64(0xE5C0DE);
+    for _ in 0..64 {
+        let n = gen.gen_range(2..6);
+        let steps = gen.gen_range(0..200);
+        let seed = gen.next_u64();
         let proto = ticketish_protocol(n);
-        let timing = Timing { ncs_steps: 1, cs_steps: 1 };
+        let timing = Timing {
+            ncs_steps: 1,
+            cs_steps: 1,
+        };
         let mut w = World::new(proto.clone(), MemoryModel::CacheCoherent, timing, None);
         let mut sched = RandomSched::new(seed);
         for _ in 0..steps {
@@ -90,15 +95,17 @@ proptest! {
         }
         let enc = w.encode();
         let w2 = World::decode(proto, MemoryModel::CacheCoherent, timing, &enc);
-        prop_assert_eq!(w2.encode(), enc);
+        assert_eq!(w2.encode(), enc, "n={n} steps={steps} seed={seed}");
     }
+}
 
-    /// The same seed yields the same execution, RMR counts included.
-    #[test]
-    fn seeded_runs_are_deterministic(
-        n in 2usize..6,
-        seed in any::<u64>(),
-    ) {
+/// The same seed yields the same execution, RMR counts included.
+#[test]
+fn seeded_runs_are_deterministic() {
+    let mut gen = SmallRng::seed_from_u64(0xDE7E12);
+    for _ in 0..32 {
+        let n = gen.gen_range(2..6);
+        let seed = gen.next_u64();
         let run = || {
             let mut sim = Sim::new(ticketish_protocol(n), MemoryModel::Dsm)
                 .cycles(5)
@@ -111,31 +118,38 @@ proptest! {
                 report.stats.pair().total,
             )
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "n={n} seed={seed}");
     }
+}
 
-    /// Round-robin never lets any runnable process fall more than one
-    /// full rotation behind.
-    #[test]
-    fn round_robin_gap_is_bounded(n in 2usize..8, steps in 10usize..300) {
+/// Round-robin never lets any runnable process fall more than one full
+/// rotation behind.
+#[test]
+fn round_robin_gap_is_bounded() {
+    let mut gen = SmallRng::seed_from_u64(0x90BB17);
+    for _ in 0..64 {
+        let n = gen.gen_range(2..8);
+        let steps = gen.gen_range(10..300);
         let mut sched = RoundRobin::new();
         let runnable: Vec<Pid> = (0..n).collect();
         let mut last_seen = vec![0usize; n];
         for t in 1..=steps {
             let p = sched.next(&runnable);
             let gap = t - last_seen[p];
-            prop_assert!(gap <= n, "process {p} waited {gap} > {n} turns");
+            assert!(gap <= n, "process {p} waited {gap} > {n} turns");
             last_seen[p] = t;
         }
     }
+}
 
-    /// CC accounting law: between two writes by others, a process pays at
-    /// most one remote read on a variable, no matter how often it reads.
-    #[test]
-    fn cc_reads_are_cached_between_invalidations(
-        reads in 1usize..50,
-        writers in 1usize..5,
-    ) {
+/// CC accounting law: between two writes by others, a process pays at
+/// most one remote read on a variable, no matter how often it reads.
+#[test]
+fn cc_reads_are_cached_between_invalidations() {
+    let mut gen = SmallRng::seed_from_u64(0xCAC4ED);
+    for _ in 0..64 {
+        let reads = gen.gen_range(1..50);
+        let writers = gen.gen_range(1..5);
         let mut t = kex_sim::vars::VarTable::new();
         let v = t.alloc("v", 0);
         let mut m = kex_sim::mem::MemState::new(&t, 8);
@@ -147,16 +161,24 @@ proptest! {
                 }
             }
             let so_far = m.remote_refs(7);
-            prop_assert!(so_far as usize <= round + 1, "too many remote reads");
+            assert!(
+                so_far as usize <= round + 1,
+                "too many remote reads: {so_far} after round {round}"
+            );
             // Another process writes, invalidating p7's copy.
-            let mut ctx = m.ctx(&t, MemoryModel::CacheCoherent, (round % 6) as Pid);
+            let mut ctx = m.ctx(&t, MemoryModel::CacheCoherent, round % 6);
             ctx.write(v, round as Word);
         }
     }
+}
 
-    /// DSM accounting law: the owner never pays, others always pay.
-    #[test]
-    fn dsm_owner_access_is_free(accesses in 1usize..60, owner in 0usize..4) {
+/// DSM accounting law: the owner never pays, others always pay.
+#[test]
+fn dsm_owner_access_is_free() {
+    let mut gen = SmallRng::seed_from_u64(0xD53107);
+    for _ in 0..64 {
+        let accesses = gen.gen_range(1..60);
+        let owner = gen.gen_range(0..4);
         let mut t = kex_sim::vars::VarTable::new();
         let v = t.alloc_local("v", owner, 0);
         let mut m = kex_sim::mem::MemState::new(&t, 4);
@@ -165,13 +187,13 @@ proptest! {
             ctx.read(v);
             ctx.write(v, i as Word);
         }
-        prop_assert_eq!(m.remote_refs(owner), 0);
+        assert_eq!(m.remote_refs(owner), 0);
         let stranger = (owner + 1) % 4;
         {
             let mut ctx = m.ctx(&t, MemoryModel::Dsm, stranger);
             ctx.read(v);
             ctx.write(v, 0);
         }
-        prop_assert_eq!(m.remote_refs(stranger), 2);
+        assert_eq!(m.remote_refs(stranger), 2);
     }
 }

@@ -112,7 +112,9 @@ where
 
 impl<S: Sequential + Clone> std::fmt::Debug for CachedUniversal<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CachedUniversal").field("k", &self.k).finish()
+        f.debug_struct("CachedUniversal")
+            .field("k", &self.k)
+            .finish()
     }
 }
 
@@ -185,9 +187,7 @@ impl<S: Sequential + Clone> CachedUniversal<S> {
             // Resume from this name's cache instead of the sentinel.
             let mut guard = self.caches[me].lock();
             let (mut cur, mut state) = match guard.take() {
-                Some(cache)
-                    if (*cache.node).seq.load(SeqCst) <= (*mine).seq.load(SeqCst) =>
-                {
+                Some(cache) if (*cache.node).seq.load(SeqCst) <= (*mine).seq.load(SeqCst) => {
                     (cache.node, cache.state)
                 }
                 _ => (self.tail, S::default()),

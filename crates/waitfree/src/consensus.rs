@@ -72,8 +72,7 @@ mod tests {
     #[test]
     fn concurrent_deciders_agree() {
         let c = PtrConsensus::<usize>::new();
-        let proposals: Vec<*mut usize> =
-            (0..8).map(|i| Box::into_raw(Box::new(i))).collect();
+        let proposals: Vec<*mut usize> = (0..8).map(|i| Box::into_raw(Box::new(i))).collect();
         // Raw pointers are not Send; smuggle them as usizes for the test.
         let addrs: Vec<usize> = proposals.iter().map(|p| *p as usize).collect();
         let decisions: Vec<usize> = std::thread::scope(|s| {

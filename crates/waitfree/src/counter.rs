@@ -14,7 +14,7 @@
 
 use std::sync::atomic::{AtomicI64, Ordering::SeqCst};
 
-use crossbeam_utils::CachePadded;
+use kex_util::CachePadded;
 
 /// Per-name slotted counter: contention-free wait-free adds, `O(k)`
 /// wait-free reads.
@@ -31,7 +31,9 @@ impl SlotCounter {
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "need at least one slot");
         SlotCounter {
-            slots: (0..k).map(|_| CachePadded::new(AtomicI64::new(0))).collect(),
+            slots: (0..k)
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
         }
     }
 

@@ -10,15 +10,20 @@
 //! collects — wait-free — and all scans/updates linearize.
 //!
 //! Register cells are heap-allocated immutable records swapped in via
-//! `AtomicPtr` and reclaimed with epoch-based GC (`crossbeam_epoch`), so
-//! readers never dereference freed memory.
+//! `AtomicPtr`. Replaced cells are *retired*, not freed: they go on a
+//! per-object retire list reclaimed when the `Snapshot` is dropped. A
+//! reader holding `&Snapshot` therefore never races a free (dropping
+//! requires exclusive ownership), at the cost of memory proportional to
+//! the number of updates over the object's lifetime — the right
+//! trade-off for a reference implementation with no epoch-GC runtime.
 //!
 //! Like everything in this crate, the object serves processes named
 //! `0..k` — the identities handed out by the k-assignment wrapper.
 
+use std::sync::atomic::AtomicPtr;
 use std::sync::atomic::Ordering::SeqCst;
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use kex_util::sync::Mutex;
 
 /// One register's immutable cell.
 #[derive(Debug)]
@@ -40,9 +45,17 @@ struct Cell<T> {
 /// ```
 #[derive(Debug)]
 pub struct Snapshot<T> {
-    regs: Vec<Atomic<Cell<T>>>,
+    regs: Vec<AtomicPtr<Cell<T>>>,
+    /// Cells unlinked by `update`; freed in `Drop`.
+    retired: Mutex<Vec<*mut Cell<T>>>,
     k: usize,
 }
+
+// The raw cell pointers are owned by this object and only ever
+// dereferenced while it is alive; `T: Send + Sync` makes the shared
+// cells safe to touch from any thread.
+unsafe impl<T: Send + Sync> Send for Snapshot<T> {}
+unsafe impl<T: Send + Sync> Sync for Snapshot<T> {}
 
 impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
     /// A snapshot object of `k` registers, all initially `T::default()`.
@@ -54,13 +67,14 @@ impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
         Snapshot {
             regs: (0..k)
                 .map(|_| {
-                    Atomic::new(Cell {
+                    AtomicPtr::new(Box::into_raw(Box::new(Cell {
                         value: T::default(),
                         seq: 0,
                         view: Vec::new(),
-                    })
+                    })))
                 })
                 .collect(),
+            retired: Mutex::new(Vec::new()),
             k,
         }
     }
@@ -70,12 +84,19 @@ impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
         self.k
     }
 
+    /// Dereference register `i`'s current cell.
+    ///
+    /// Safe while `&self` is alive: cells are retired, never freed,
+    /// until `Drop` (which requires exclusive ownership).
+    fn cell(&self, i: usize) -> &Cell<T> {
+        unsafe { &*self.regs[i].load(SeqCst) }
+    }
+
     /// Collect `(seq, value)` of every register (one pass, not atomic).
-    fn collect(&self, guard: &epoch::Guard) -> Vec<(u64, T)> {
-        self.regs
-            .iter()
-            .map(|r| {
-                let cell = unsafe { r.load(SeqCst, guard).deref() };
+    fn collect(&self) -> Vec<(u64, T)> {
+        (0..self.k)
+            .map(|i| {
+                let cell = self.cell(i);
                 (cell.seq, cell.value.clone())
             })
             .collect()
@@ -85,11 +106,10 @@ impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
     /// register `i`'s value at a single linearization point inside the
     /// call.
     pub fn scan(&self) -> Vec<T> {
-        let guard = epoch::pin();
         let mut moved = vec![false; self.k];
-        let mut a = self.collect(&guard);
+        let mut a = self.collect();
         loop {
-            let b = self.collect(&guard);
+            let b = self.collect();
             let mut changed = None;
             for i in 0..self.k {
                 if a[i].0 != b[i].0 {
@@ -98,8 +118,7 @@ impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
                         // Register i changed twice during our scan: its
                         // current embedded view was taken entirely within
                         // our interval — borrow it.
-                        let cell = unsafe { self.regs[i].load(SeqCst, &guard).deref() };
-                        return cell.view.clone();
+                        return self.cell(i).view.clone();
                     }
                     moved[i] = true;
                 }
@@ -120,33 +139,31 @@ impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
         assert!(me < self.k, "name {me} out of range 0..{}", self.k);
         // Embed a fresh scan, as the algorithm requires.
         let view = self.scan();
-        let guard = epoch::pin();
-        let old = self.regs[me].load(SeqCst, &guard);
-        let seq = unsafe { old.deref() }.seq + 1;
-        let new = Owned::new(Cell { value, seq, view });
-        let prev = self.regs[me].swap(new, SeqCst, &guard);
-        unsafe {
-            guard.defer_destroy(prev);
-        }
+        let seq = self.cell(me).seq + 1;
+        let new = Box::into_raw(Box::new(Cell { value, seq, view }));
+        let prev = self.regs[me].swap(new, SeqCst);
+        self.retired.lock().push(prev);
     }
 
     /// Read one register without a full scan (still linearizable for a
     /// single register).
     pub fn read(&self, i: usize) -> T {
         assert!(i < self.k, "register {i} out of range 0..{}", self.k);
-        let guard = epoch::pin();
-        unsafe { self.regs[i].load(SeqCst, &guard).deref() }.value.clone()
+        self.cell(i).value.clone()
     }
 }
 
 impl<T> Drop for Snapshot<T> {
     fn drop(&mut self) {
-        let guard = epoch::pin();
+        // Exclusive access: no reader can hold a cell reference now.
         for r in &self.regs {
-            let p = r.swap(epoch::Shared::null(), SeqCst, &guard);
+            let p = r.swap(std::ptr::null_mut(), SeqCst);
             if !p.is_null() {
-                unsafe { guard.defer_destroy(p) };
+                drop(unsafe { Box::from_raw(p) });
             }
+        }
+        for p in self.retired.get_mut().drain(..) {
+            drop(unsafe { Box::from_raw(p) });
         }
     }
 }
@@ -245,5 +262,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn update_rejects_foreign_names() {
         Snapshot::<u8>::new(2).update(2, 1);
+    }
+
+    #[test]
+    fn drop_reclaims_retired_cells() {
+        // Smoke test that Drop walks both live and retired cells without
+        // double-freeing (run under the normal allocator this would
+        // abort on corruption).
+        let s: Snapshot<u64> = Snapshot::new(2);
+        for i in 0..50 {
+            s.update(0, i);
+            s.update(1, i);
+        }
+        drop(s);
     }
 }

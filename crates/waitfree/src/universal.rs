@@ -281,7 +281,11 @@ mod tests {
         while let Some(v) = q.apply(0, QueueOp::Dequeue) {
             all.push(v);
         }
-        assert_eq!(all.len(), (k as u32 * per) as usize, "lost or duplicated items");
+        assert_eq!(
+            all.len(),
+            (k as u32 * per) as usize,
+            "lost or duplicated items"
+        );
         let distinct: HashSet<_> = all.iter().collect();
         assert_eq!(distinct.len(), all.len(), "duplicated items");
     }

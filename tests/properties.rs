@@ -1,136 +1,161 @@
-//! Property-based tests (proptest): random `(n, k, seed, schedule)`
+//! Property-style tests: seeded random `(n, k, seed, schedule)`
 //! configurations against the core invariants.
+//!
+//! A fixed PRNG stream drives the "random" inputs, so every case is
+//! deterministic and failures reproduce exactly without an external
+//! property-testing runtime.
 
-use proptest::prelude::*;
+use kex_util::rng::SmallRng;
 
 use kex::core::native::TasRenaming;
 use kex::core::sim::Algorithm;
 use kex::sim::prelude::*;
 
-/// Strategy: a random algorithm variant.
-fn algorithm() -> impl Strategy<Value = Algorithm> {
-    prop::sample::select(Algorithm::ALL.to_vec())
+fn pick_algorithm(gen: &mut SmallRng) -> Algorithm {
+    Algorithm::ALL[gen.gen_range(0..Algorithm::ALL.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Safety holds and runs quiesce for every algorithm under random
-    /// instance sizes, participant sets, dwell times, and schedules.
-    #[test]
-    fn any_configuration_is_safe_and_quiescent(
-        algo in algorithm(),
-        n in 3usize..12,
-        k_frac in 1usize..100,
-        participants_frac in 1usize..100,
-        seed in any::<u64>(),
-        ncs in 0u32..3,
-        cs in 0u32..4,
-    ) {
-        let k = 1 + k_frac % (n - 1);
-        let participants = 1 + participants_frac % n;
+/// Safety holds and runs quiesce for every algorithm under random
+/// instance sizes, participant sets, dwell times, and schedules.
+#[test]
+fn any_configuration_is_safe_and_quiescent() {
+    let mut gen = SmallRng::seed_from_u64(0x5AFE01);
+    for _ in 0..48 {
+        let algo = pick_algorithm(&mut gen);
+        let n = gen.gen_range(3..12);
+        let k = 1 + gen.gen_range(1..100) % (n - 1);
+        let participants = 1 + gen.gen_range(1..100) % n;
+        let seed = gen.next_u64();
+        let ncs = gen.gen_range(0..3) as u32;
+        let cs = gen.gen_range(0..4) as u32;
         let proto = algo.build(n, k, 4096);
         let mut sim = Sim::new(proto, algo.model())
             .cycles(6)
             .scheduler(RandomSched::new(seed))
             .participants(0..participants)
-            .timing(Timing { ncs_steps: ncs, cs_steps: cs })
+            .timing(Timing {
+                ncs_steps: ncs,
+                cs_steps: cs,
+            })
             .build();
         let report = sim.run(50_000_000);
-        prop_assert!(report.violation.is_none(), "{}: {:?}", algo.label(), report.violation);
-        prop_assert_eq!(report.stop, StopReason::Quiescent, "{} hung", algo.label());
-        prop_assert_eq!(report.total_completed(), 6 * participants as u64);
+        assert!(
+            report.violation.is_none(),
+            "{}: {:?} (n={n} k={k} seed={seed})",
+            algo.label(),
+            report.violation
+        );
+        assert_eq!(
+            report.stop,
+            StopReason::Quiescent,
+            "{} hung (n={n} k={k} seed={seed})",
+            algo.label()
+        );
+        assert_eq!(report.total_completed(), 6 * participants as u64);
     }
+}
 
-    /// The Theorem-1 RMR bound holds for random chain instances.
-    #[test]
-    fn chain_rmr_bound_holds(
-        n in 3usize..10,
-        k_frac in 1usize..100,
-        seed in any::<u64>(),
-    ) {
-        let k = 1 + k_frac % (n - 1);
+/// The Theorem-1 RMR bound holds for random chain instances.
+#[test]
+fn chain_rmr_bound_holds() {
+    let mut gen = SmallRng::seed_from_u64(0x7B01);
+    for _ in 0..24 {
+        let n = gen.gen_range(3..10);
+        let k = 1 + gen.gen_range(1..100) % (n - 1);
+        let seed = gen.next_u64();
         let proto = Algorithm::CcChain.build(n, k, 0);
         let mut sim = Sim::new(proto, MemoryModel::CacheCoherent)
             .cycles(10)
             .scheduler(RandomSched::new(seed))
             .build();
         let report = sim.run(50_000_000);
-        prop_assert!(report.violation.is_none());
-        prop_assert!(
+        assert!(report.violation.is_none());
+        assert!(
             report.stats.worst_pair() <= 7 * (n as u64 - k as u64),
-            "worst {} > 7(N-k) = {}",
+            "worst {} > 7(N-k) = {} (n={n} k={k} seed={seed})",
             report.stats.worst_pair(),
             7 * (n as u64 - k as u64)
         );
     }
+}
 
-    /// The Theorem-5 DSM bound holds for random Figure-6 chains.
-    #[test]
-    fn dsm_chain_rmr_bound_holds(
-        n in 3usize..8,
-        k_frac in 1usize..100,
-        seed in any::<u64>(),
-    ) {
-        let k = 1 + k_frac % (n - 1);
+/// The Theorem-5 DSM bound holds for random Figure-6 chains.
+#[test]
+fn dsm_chain_rmr_bound_holds() {
+    let mut gen = SmallRng::seed_from_u64(0x7B05);
+    for _ in 0..24 {
+        let n = gen.gen_range(3..8);
+        let k = 1 + gen.gen_range(1..100) % (n - 1);
+        let seed = gen.next_u64();
         let proto = Algorithm::DsmChain.build(n, k, 0);
         let mut sim = Sim::new(proto, MemoryModel::Dsm)
             .cycles(10)
             .scheduler(RandomSched::new(seed))
             .build();
         let report = sim.run(50_000_000);
-        prop_assert!(report.violation.is_none());
-        prop_assert!(
+        assert!(report.violation.is_none());
+        assert!(
             report.stats.worst_pair() <= 14 * (n as u64 - k as u64),
-            "worst {} > 14(N-k)",
+            "worst {} > 14(N-k) (n={n} k={k} seed={seed})",
             report.stats.worst_pair(),
         );
     }
+}
 
-    /// Sequential renaming always yields names in range, and a full
-    /// acquire-all yields a permutation of 0..k.
-    #[test]
-    fn renaming_dense_permutation(k in 1usize..12) {
+/// Sequential renaming always yields names in range, and a full
+/// acquire-all yields a permutation of 0..k.
+#[test]
+fn renaming_dense_permutation() {
+    for k in 1usize..12 {
         let r = TasRenaming::new(k);
         let mut names: Vec<usize> = (0..k).map(|_| r.acquire_name()).collect();
         names.sort_unstable();
         let expect: Vec<usize> = (0..k).collect();
-        prop_assert_eq!(names, expect);
+        assert_eq!(names, expect);
     }
+}
 
-    /// Random acquire/release interleavings never hand out a held name
-    /// and never exceed k outstanding names.
-    #[test]
-    fn renaming_long_lived_uniqueness(
-        k in 1usize..8,
-        script in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+/// Random acquire/release interleavings never hand out a held name and
+/// never exceed k outstanding names.
+#[test]
+fn renaming_long_lived_uniqueness() {
+    let mut gen = SmallRng::seed_from_u64(0x4E4A);
+    for _ in 0..32 {
+        let k = gen.gen_range(1..8);
+        let script_len = gen.gen_range(1..200);
         let r = TasRenaming::new(k);
         let mut held: Vec<usize> = Vec::new();
-        for acquire in script {
+        for _ in 0..script_len {
+            let acquire = gen.gen_bool(0.5);
             if acquire && held.len() < k {
                 let name = r.acquire_name();
-                prop_assert!(name < k, "name {} out of range", name);
-                prop_assert!(!held.contains(&name), "name {} already held", name);
+                assert!(name < k, "name {name} out of range (k={k})");
+                assert!(!held.contains(&name), "name {name} already held");
                 held.push(name);
             } else if let Some(name) = held.pop() {
                 r.release_name(name);
             }
         }
     }
+}
 
-    /// Random crash placements never break safety (k-exclusion and name
-    /// uniqueness hold no matter who dies where).
-    #[test]
-    fn crashes_never_break_safety(
-        algo in algorithm(),
-        seed in any::<u64>(),
-        crash_steps in prop::collection::vec(1u64..200, 1..3),
-    ) {
+/// Random crash placements never break safety (k-exclusion and name
+/// uniqueness hold no matter who dies where).
+#[test]
+fn crashes_never_break_safety() {
+    let mut gen = SmallRng::seed_from_u64(0xC4A54);
+    for _ in 0..24 {
+        let algo = pick_algorithm(&mut gen);
+        let seed = gen.next_u64();
+        let crashes = gen.gen_range(1..3);
         let (n, k) = (8, 3);
         let mut plan = FailurePlan::new();
-        for (i, &steps) in crash_steps.iter().enumerate() {
-            plan.push(FailureSpec { pid: i, when: FailWhen::AfterOwnSteps(steps) });
+        for i in 0..crashes {
+            let steps = gen.gen_range(1..200) as u64;
+            plan.push(FailureSpec {
+                pid: i,
+                when: FailWhen::AfterOwnSteps(steps),
+            });
         }
         let proto = algo.build(n, k, 4096);
         let mut sim = Sim::new(proto, algo.model())
@@ -140,6 +165,11 @@ proptest! {
             .build();
         // Runs may wedge (fig1 does); we only demand safety.
         let report = sim.run(2_000_000);
-        prop_assert!(report.violation.is_none(), "{}: {:?}", algo.label(), report.violation);
+        assert!(
+            report.violation.is_none(),
+            "{}: {:?} (seed={seed})",
+            algo.label(),
+            report.violation
+        );
     }
 }

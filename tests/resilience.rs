@@ -44,7 +44,8 @@ fn local_spin_algorithms_survive_k_minus_1_cs_crashes() {
             // The 6 survivors must all finish their 10 cycles.
             for p in (k - 1)..n {
                 assert_eq!(
-                    report.completed[p], 10,
+                    report.completed[p],
+                    10,
                     "{}: survivor {p} blocked (seed {seed})",
                     algo.label()
                 );
@@ -91,7 +92,11 @@ fn a_waiting_crash_costs_exactly_one_slot_everywhere() {
     // included — and the survivors keep going through the remaining
     // slots. The paper's objection to Figure 1 is implementability, not
     // this; see `naive_fig1_decomposition_is_broken`.
-    for algo in [Algorithm::QueueFig1, Algorithm::CcChain, Algorithm::DsmChain] {
+    for algo in [
+        Algorithm::QueueFig1,
+        Algorithm::CcChain,
+        Algorithm::DsmChain,
+    ] {
         let proto = algo.build(4, 2, 0);
         let mut plan = FailurePlan::new();
         plan.push(FailureSpec {

@@ -91,8 +91,11 @@ fn theorem_2_and_6_tree_bounds_hold() {
     let mut worst_dsm = 0;
     for seed in 0..6 {
         worst_cc = worst_cc.max(run(Algorithm::CcTree, n, k, n, seed, 10).stats.worst_pair());
-        worst_dsm =
-            worst_dsm.max(run(Algorithm::DsmTree, n, k, n, seed, 10).stats.worst_pair());
+        worst_dsm = worst_dsm.max(
+            run(Algorithm::DsmTree, n, k, n, seed, 10)
+                .stats
+                .worst_pair(),
+        );
     }
     assert!(worst_cc <= 7 * k as u64 * depth, "Thm 2: {worst_cc}");
     assert!(worst_dsm <= 14 * k as u64 * depth, "Thm 6: {worst_dsm}");
@@ -137,7 +140,10 @@ fn theorem_4_graceful_cost_tracks_contention_not_n() {
     let low = worst_at(2);
     let mid = worst_at(8);
     let high = worst_at(24);
-    assert!(low < mid && mid <= high, "no graceful degradation: {low} {mid} {high}");
+    assert!(
+        low < mid && mid <= high,
+        "no graceful degradation: {low} {mid} {high}"
+    );
     // Proportionality check (shape, not constants): cost at c=8 should be
     // well below cost at c=24.
     assert!(
@@ -189,7 +195,8 @@ fn starvation_freedom_survives_a_maximal_adversary() {
     ] {
         let report = run_with_adversary(algo, 50_000_000);
         assert_eq!(
-            report.completed[victim], 5,
+            report.completed[victim],
+            5,
             "{}: victim starved under the adversary",
             algo.label()
         );
