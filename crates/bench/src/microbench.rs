@@ -3,7 +3,7 @@
 //! while depending on nothing outside the workspace.
 //!
 //! Measurement model: each `bench_function` first calibrates an
-//! iteration count so one sample takes at least [`TARGET_SAMPLE`] of
+//! iteration count so one sample takes at least `TARGET_SAMPLE` (10 ms) of
 //! wall time, then takes `sample_size` samples and reports the median
 //! ns/iteration (plus elements/second when a [`Throughput`] is set).
 //! No statistics beyond the median are attempted — these benches chart

@@ -1,7 +1,7 @@
 //! Native Figure-4 fast path (Theorems 3/7) and the gracefully
 //! degrading nested variant (Theorems 4/8).
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
 
 use kex_util::CachePadded;
 

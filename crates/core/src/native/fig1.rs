@@ -9,8 +9,8 @@
 //! reintroduces a single serialization point and a single point of
 //! failure. Benchmarks use it as the Table-1 \[9\]/\[10\] stand-in.
 
+use kex_util::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 
 use kex_util::sync::Mutex;
 use kex_util::{Backoff, CachePadded};

@@ -7,7 +7,7 @@
 //! and `Q` live on their own cache lines so spinning on `Q` does not
 //! false-share with the `X` traffic.
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
 
 use kex_util::{Backoff, CachePadded};
 

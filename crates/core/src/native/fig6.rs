@@ -12,7 +12,7 @@
 //! See [`crate::sim::fig6`] for the statement-exact rendition and the
 //! exhaustive model-checking coverage.
 
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering::SeqCst};
 
 use kex_util::{Backoff, CachePadded};
 

@@ -10,7 +10,7 @@
 //! dies wedges everyone behind it (demonstrated exhaustively on the
 //! simulator version, [`crate::sim::mcs`]).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 
 use kex_util::{Backoff, CachePadded};
 

@@ -18,10 +18,14 @@
 //! | [`Resilient`]   | the §1 resilient-object methodology |
 //!
 //! All algorithms use `SeqCst` atomics (the paper's proofs assume
-//! sequential consistency); their interleaving-level correctness is
-//! established exhaustively on the statement-exact simulator versions in
-//! [`crate::sim`], while the tests here stress the native code with real
-//! threads.
+//! sequential consistency; see `docs/MEMORY_ORDERING.md` for the
+//! site-by-site audit), imported through the loom-swappable facade in
+//! [`kex_util::sync`] — never `std::sync::atomic` directly. Their
+//! interleaving-level correctness is established three ways: exhaustively
+//! on the statement-exact simulator versions in [`crate::sim`],
+//! exhaustively on *this* code under the loom model checker
+//! (`tests/loom_models.rs`, built with `RUSTFLAGS="--cfg loom"`), and by
+//! real-thread stress tests here.
 
 mod assignment;
 mod fast_path;

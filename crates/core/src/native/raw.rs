@@ -1,10 +1,12 @@
 //! The native k-exclusion interface: [`RawKex`] and its RAII guard.
 //!
-//! Native implementations run over `std::sync::atomic` with `SeqCst`
-//! ordering throughout: the paper's proofs assume sequentially consistent
-//! shared memory, and we keep that assumption explicit rather than
-//! hand-optimizing orderings (the simulator versions in [`crate::sim`]
-//! are the reference semantics; see DESIGN.md).
+//! Native implementations run over the `kex_util::sync::atomic` facade
+//! (std atomics normally, loom model-checked atomics under `cfg(loom)`)
+//! with `SeqCst` ordering throughout: the paper's proofs assume
+//! sequentially consistent shared memory, and we keep that assumption
+//! explicit rather than hand-optimizing orderings (the simulator
+//! versions in [`crate::sim`] are the reference semantics; see DESIGN.md
+//! and `docs/MEMORY_ORDERING.md`).
 //!
 //! Every algorithm is parameterized by a fixed process universe `0..N`:
 //! callers hand each thread a distinct process id (see

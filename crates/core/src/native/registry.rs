@@ -7,7 +7,7 @@
 //! because a departing thread is, by definition, in its noncritical
 //! section forever (a nonfaulty departure in the paper's model).
 
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// Allocates distinct process ids in `0..n` to threads.

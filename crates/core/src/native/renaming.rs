@@ -7,7 +7,7 @@
 //! can be re-acquired forever (the *long-lived* property the paper
 //! contributes over prior one-shot renaming).
 
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicBool, Ordering::SeqCst};
 
 use kex_util::CachePadded;
 

@@ -1,7 +1,7 @@
 //! Shared helpers for native stress tests: occupancy tracking with real
 //! threads.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::time::{Duration, Instant};
 
 use super::raw::RawKex;
@@ -33,7 +33,7 @@ pub(crate) fn occupancy_stress<K: RawKex>(kex: &K, cycles: u64) -> OccupancyRepo
                     // Vary the hold time so occupancies overlap.
                     let spin = (p * 7 + i as usize * 13) % 64;
                     for _ in 0..spin {
-                        std::hint::spin_loop();
+                        kex_util::sync::hint::spin_loop();
                     }
                     inside.fetch_sub(1, SeqCst);
                     kex.release(p);
@@ -70,7 +70,7 @@ pub(crate) fn max_concurrency<K: RawKex>(kex: &K, want: usize, timeout: Duration
                     done.store(true, SeqCst);
                 }
                 while !done.load(SeqCst) && Instant::now() < deadline {
-                    std::hint::spin_loop();
+                    kex_util::sync::hint::spin_loop();
                 }
                 inside.fetch_sub(1, SeqCst);
                 kex.release(p);
@@ -102,14 +102,14 @@ pub(crate) fn crash_stress<K: RawKex>(kex: &K, crashed: &[usize], cycles: u64) -
                     // Hold the slot until every survivor is done — the
                     // thread has effectively failed inside its CS.
                     while finished.load(SeqCst) < survivors {
-                        std::thread::yield_now();
+                        kex_util::sync::thread::yield_now();
                     }
                     kex.release(p); // only to let the scope join cleanly
                 } else {
                     // Give the crashing threads a head start so they are
                     // really inside when the survivors contend.
                     while crashed_in.load(SeqCst) < crashed.len() {
-                        std::thread::yield_now();
+                        kex_util::sync::thread::yield_now();
                     }
                     for _ in 0..cycles {
                         kex.acquire(p);

@@ -7,7 +7,7 @@
 //! instruction), for the k = 1 wall-clock comparison against
 //! [`crate::native::McsLock`] and the paper's `(N, 1)` instances.
 
-use std::sync::atomic::{AtomicIsize, AtomicU8, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicIsize, AtomicU8, Ordering::SeqCst};
 
 use kex_util::{Backoff, CachePadded};
 

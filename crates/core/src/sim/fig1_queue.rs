@@ -19,7 +19,7 @@
 //!    trivial in a simulator whose statements are atomic by construction,
 //!    but unrealistic on real hardware (the paper's Table 1 lists these
 //!    algorithms under "Large Critical Sections"). Deleting the brackets
-//!    breaks the algorithm outright; see [`crate::sim::fig1_nonatomic`],
+//!    breaks the algorithm outright; see [`mod@crate::sim::fig1_nonatomic`],
 //!    where the model checker finds the violation.
 //! 2. The FIFO queue couples waiters: a waiter that crashes is eventually
 //!    dequeued by an exiting process and silently swallows that grant —

@@ -1,7 +1,7 @@
 //! A non-local-spin baseline: everyone busy-waits on one global counter.
 //!
 //! Stands in for the Table-1 rows whose remote-reference complexity is
-//! unbounded ("∞ with contention"): algorithms such as [8] and [1] in
+//! unbounded ("∞ with contention"): algorithms such as \[8\] and \[1\] in
 //! which waiting processes repeatedly access *shared, contended*
 //! variables rather than spinning on a private location. Every retry is a
 //! read of a word that other processes keep writing, so under either

@@ -3,17 +3,17 @@
 //!
 //! | module | paper artifact |
 //! |---|---|
-//! | [`fig1_queue`] | Figure 1 — atomic-queue baseline |
+//! | [`mod@fig1_queue`] | Figure 1 — atomic-queue baseline |
 //! | [`fig2`]       | Figure 2 — CC building block + Theorem-1 chain |
-//! | [`tree`]       | Figure 3(a) — tree composition (Theorems 2, 6) |
+//! | [`mod@tree`]       | Figure 3(a) — tree composition (Theorems 2, 6) |
 //! | [`fast_path`]  | Figures 3(b), 4 — fast path (Thms 3, 7) and graceful degradation (Thms 4, 8) |
 //! | [`fig5`]       | Figure 5 — DSM block, unbounded spin locations |
 //! | [`fig6`]       | Figure 6 — DSM block, bounded (`k+2`) spin locations (Theorem 5) |
-//! | [`assignment`] | Figure 7 — long-lived renaming / k-assignment (Thms 9, 10) |
-//! | [`global_spin`]| non-local-spin baseline (Table 1's unbounded rows) |
-//! | [`fig1_nonatomic`] | Figure 1 with its atomic sections naively removed — a negative control the model checker rejects |
-//! | [`mcs`]        | MCS queue lock \[12\] — the §5 "fastest spin lock" k=1 yardstick |
-//! | [`yang_anderson`] | Yang–Anderson read/write-only local-spin mutex \[14\] |
+//! | [`mod@assignment`] | Figure 7 — long-lived renaming / k-assignment (Thms 9, 10) |
+//! | [`mod@global_spin`]| non-local-spin baseline (Table 1's unbounded rows) |
+//! | [`mod@fig1_nonatomic`] | Figure 1 with its atomic sections naively removed — a negative control the model checker rejects |
+//! | [`mod@mcs`]        | MCS queue lock \[12\] — the §5 "fastest spin lock" k=1 yardstick |
+//! | [`mod@yang_anderson`] | Yang–Anderson read/write-only local-spin mutex \[14\] |
 //! | [`splitter`]   | read/write-only splitter-grid renaming — the companion reference \[13\] |
 //! | [`build`]      | one-call factories for all of the above |
 

@@ -47,7 +47,7 @@
 //! making it long-lived (and wrapper-compatible) with reads and writes
 //! only is exactly \[13\]'s further contribution, which this repository
 //! leaves to Figure 7's test-and-set algorithm
-//! ([`crate::sim::assignment`]).
+//! ([`mod@crate::sim::assignment`]).
 //!
 //! When a process is forced off the grid it takes the out-of-range
 //! sentinel name `k(k+1)/2`, which the safety checker reports as a

@@ -5,7 +5,7 @@
 //! The paper cites \[14\] twice: as prior local-spin art in §1/§2, and in
 //! §5 as one of "the fastest spin-lock algorithms" that k-exclusion
 //! should approach as `k → 1`. Together with the MCS lock
-//! ([`crate::sim::mcs`], RMW-based, `O(1)` RMR) it brackets the paper's
+//! ([`mod@crate::sim::mcs`], RMW-based, `O(1)` RMR) it brackets the paper's
 //! k = 1 design space by instruction set:
 //!
 //! | algorithm | primitives | RMR per acquisition |

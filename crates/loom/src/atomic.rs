@@ -1,0 +1,194 @@
+//! Model-checked drop-in replacements for `std::sync::atomic` types.
+//!
+//! Every operation is a schedule point: the checker may switch threads
+//! immediately *before* the operation executes, which is exactly the
+//! granularity at which sequentially consistent interleavings differ.
+//! The `Ordering` argument is accepted for API compatibility but the
+//! simulated memory model is SC regardless (see the crate docs); the
+//! wrapped std atomic is always accessed with `SeqCst`, so the memory
+//! backing the model is physically coherent too.
+//!
+//! Outside [`crate::model`] the types degrade to plain `SeqCst` std
+//! atomics (no scheduling), keeping construction and `Debug` usable.
+
+pub use std::sync::atomic::Ordering;
+
+use std::panic::Location;
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::rt;
+
+macro_rules! atomic_common {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Model-checked counterpart of the same-named `std::sync::atomic` type.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic holding `v`.
+            pub const fn new(v: $ty) -> Self {
+                $name {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            /// Consumes the atomic, returning the contained value.
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+
+            /// Mutable access without synchronization.
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            /// Loads the value (schedule point; read).
+            #[track_caller]
+            pub fn load(&self, _order: Ordering) -> $ty {
+                rt::schedule(
+                    concat!(stringify!($name), "::load"),
+                    false,
+                    Location::caller(),
+                );
+                self.inner.load(SeqCst)
+            }
+
+            /// Stores `v` (schedule point; write).
+            #[track_caller]
+            pub fn store(&self, v: $ty, _order: Ordering) {
+                rt::schedule(
+                    concat!(stringify!($name), "::store"),
+                    true,
+                    Location::caller(),
+                );
+                self.inner.store(v, SeqCst)
+            }
+
+            /// Swaps in `v`, returning the previous value (schedule
+            /// point; write).
+            #[track_caller]
+            pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                rt::schedule(
+                    concat!(stringify!($name), "::swap"),
+                    true,
+                    Location::caller(),
+                );
+                self.inner.swap(v, SeqCst)
+            }
+
+            /// Compare-and-exchange (schedule point; write — even a
+            /// failed CAS is an RMW-slot access in the SC model).
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                rt::schedule(
+                    concat!(stringify!($name), "::compare_exchange"),
+                    true,
+                    Location::caller(),
+                );
+                self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+
+            /// Weak compare-and-exchange; never fails spuriously in the
+            /// model (spurious failure would only add schedules already
+            /// covered by a plain retry loop).
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Fetch-and-update loop as a single atomic RMW (schedule
+            /// point; write).
+            #[track_caller]
+            pub fn fetch_update<F>(
+                &self,
+                _set_order: Ordering,
+                _fetch_order: Ordering,
+                f: F,
+            ) -> Result<$ty, $ty>
+            where
+                F: FnMut($ty) -> Option<$ty>,
+            {
+                rt::schedule(
+                    concat!(stringify!($name), "::fetch_update"),
+                    true,
+                    Location::caller(),
+                );
+                self.inner.fetch_update(SeqCst, SeqCst, f)
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(v: $ty) -> Self {
+                $name::new(v)
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int_ops {
+    ($name:ident, $ty:ty, [$($op:ident),* $(,)?]) => {
+        impl $name {
+            $(
+                #[doc = concat!("`", stringify!($op), "` (schedule point; write).")]
+                #[track_caller]
+                pub fn $op(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::schedule(
+                        concat!(stringify!($name), "::", stringify!($op)),
+                        true,
+                        Location::caller(),
+                    );
+                    self.inner.$op(v, SeqCst)
+                }
+            )*
+        }
+    };
+}
+
+atomic_common!(AtomicBool, AtomicBool, bool);
+atomic_common!(AtomicU8, AtomicU8, u8);
+atomic_common!(AtomicU32, AtomicU32, u32);
+atomic_common!(AtomicU64, AtomicU64, u64);
+atomic_common!(AtomicUsize, AtomicUsize, usize);
+atomic_common!(AtomicIsize, AtomicIsize, isize);
+
+atomic_int_ops!(
+    AtomicU8,
+    u8,
+    [fetch_add, fetch_sub, fetch_and, fetch_or, fetch_xor, fetch_max, fetch_min]
+);
+atomic_int_ops!(
+    AtomicU32,
+    u32,
+    [fetch_add, fetch_sub, fetch_and, fetch_or, fetch_xor, fetch_max, fetch_min]
+);
+atomic_int_ops!(
+    AtomicU64,
+    u64,
+    [fetch_add, fetch_sub, fetch_and, fetch_or, fetch_xor, fetch_max, fetch_min]
+);
+atomic_int_ops!(
+    AtomicUsize,
+    usize,
+    [fetch_add, fetch_sub, fetch_and, fetch_or, fetch_xor, fetch_max, fetch_min]
+);
+atomic_int_ops!(
+    AtomicIsize,
+    isize,
+    [fetch_add, fetch_sub, fetch_and, fetch_or, fetch_xor, fetch_max, fetch_min]
+);
+
+atomic_int_ops!(AtomicBool, bool, [fetch_and, fetch_or, fetch_xor]);

@@ -1,0 +1,14 @@
+//! Spin-hint shim: the facade's replacement for `std::hint::spin_loop`.
+
+use std::panic::Location;
+
+use crate::rt;
+
+/// Inside a model: a yield point that demotes the spinner until another
+/// thread performs a write, which both prunes stutter schedules and
+/// makes unbounded busy-wait loops explorable (iterations are bounded
+/// by the total number of writes). Outside a model: a no-op.
+#[track_caller]
+pub fn spin_loop() {
+    rt::yield_point("hint::spin_loop", Location::caller());
+}

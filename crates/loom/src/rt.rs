@@ -1,0 +1,610 @@
+//! The execution engine behind [`crate::model`]: every model thread is a
+//! real OS thread, but exactly one runs at a time. Each synchronization
+//! primitive calls into [`Execution::switch`] *before* it acts; that call
+//! is a *schedule point* where the engine records (or replays) a
+//! scheduling decision. A depth-first search over those decisions
+//! enumerates interleavings; see [`crate::model`] for the driver loop.
+//!
+//! ## Scheduling policy
+//!
+//! * **Serialization** — only the `active` thread executes model code;
+//!   everyone else is parked on the execution's condvar. Hand-off through
+//!   the std mutex provides the happens-before edges that make the
+//!   (sequentially consistent) simulated memory physically coherent.
+//! * **Preemption bounding** — switching away from a thread that could
+//!   have kept running consumes one unit of the preemption budget
+//!   (`LOOM_MAX_PREEMPTIONS`); once spent, the active thread runs until
+//!   it blocks, yields, or finishes. Voluntary switches are free. This is
+//!   the CHESS bound: most bugs need very few preemptions.
+//! * **Yield demotion** — a thread that executes a spin hint
+//!   ([`crate::hint::spin_loop`] / [`crate::thread::yield_now`]) is
+//!   *yielded*: it becomes schedulable again only after some other thread
+//!   performs a write. Re-running a pure spin re-read with no intervening
+//!   write would stutter (same loads, same state), so pruning it is a
+//!   sound reduction — and it makes busy-wait loops explorable without
+//!   artificial iteration bounds.
+//! * **Deadlock/livelock detection** — if no thread is schedulable while
+//!   unfinished threads remain (everyone blocked, or every spinner waits
+//!   on a write that no live thread can perform), the execution aborts
+//!   and the schedule is reported: this is how lost wakeups surface.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::panic::Location;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
+
+/// Model-thread id; `0` is the thread running the model closure.
+pub(crate) type Tid = usize;
+
+/// What a blocked thread is waiting for. Mutexes and condvars are keyed
+/// by address (unique while the object is alive, which spans the whole
+/// execution); a stale match only causes a spurious wake followed by a
+/// re-check, never a lost one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitTarget {
+    /// Waiting for a mutex at this address to be unlocked.
+    Mutex(usize),
+    /// Waiting for a notification on the condvar at this address.
+    Condvar(usize),
+    /// Waiting for the thread to finish.
+    Join(Tid),
+}
+
+/// Schedulability of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Spinning: schedulable only once `write_seq` exceeds `since_write`.
+    Yielded {
+        since_write: u64,
+    },
+    Blocked(WaitTarget),
+    Finished,
+}
+
+/// The kind of schedule point the active thread hit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Point {
+    /// An operation about to execute; `write` marks ops whose effect can
+    /// wake spinners (stores, RMWs, unlocks, notifies).
+    Op { write: bool },
+    /// A spin hint: demote until someone writes.
+    Yield,
+    /// The op cannot proceed; park until the target wakes us.
+    Block(WaitTarget),
+    /// The thread's closure returned.
+    Finish,
+}
+
+struct ThreadState {
+    status: Status,
+    /// Set when this thread's *previous* schedule point announced a
+    /// write; the bump to `write_seq` is applied at the *next* point,
+    /// i.e. once the write has physically happened.
+    pending_write: bool,
+    last_op: &'static str,
+    last_site: &'static Location<'static>,
+}
+
+/// One recorded scheduling decision: which thread, out of which options.
+#[derive(Debug)]
+pub(crate) struct Decision {
+    options: Vec<Tid>,
+    index: usize,
+}
+
+struct TraceEntry {
+    tid: Tid,
+    op: &'static str,
+    site: &'static Location<'static>,
+    chosen: Tid,
+}
+
+struct ExecInner {
+    threads: Vec<ThreadState>,
+    active: Tid,
+    write_seq: u64,
+    preemptions: u32,
+    steps: u64,
+    decisions: Vec<Decision>,
+    depth: usize,
+    trace: Vec<TraceEntry>,
+    abort: Option<String>,
+    /// Model threads not yet `Finished`.
+    live: usize,
+    /// OS worker jobs that have not yet returned.
+    workers: usize,
+}
+
+/// Configuration knobs, resolved by [`crate::Builder`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Config {
+    pub(crate) max_preemptions: Option<u32>,
+    pub(crate) max_steps: u64,
+}
+
+/// One execution (a single schedule) of the model closure.
+pub(crate) struct Execution {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+    config: Config,
+}
+
+/// Panic payload used to unwind parked threads after an abort. Never
+/// reported: the first (real) failure wins.
+struct AbortSignal;
+
+/// What the driver gets back from one execution.
+pub(crate) struct RunOutcome {
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) failure: Option<String>,
+    pub(crate) schedule_points: u64,
+}
+
+const INIT_SITE: &Location<'static> = Location::caller();
+
+impl Execution {
+    pub(crate) fn new(config: Config, decisions: Vec<Decision>) -> Arc<Self> {
+        Arc::new(Execution {
+            inner: StdMutex::new(ExecInner {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    pending_write: false,
+                    last_op: "start",
+                    last_site: INIT_SITE,
+                }],
+                active: 0,
+                write_seq: 0,
+                preemptions: 0,
+                steps: 0,
+                decisions,
+                depth: 0,
+                trace: Vec::new(),
+                abort: None,
+                live: 1,
+                workers: 1,
+            }),
+            cv: StdCondvar::new(),
+            config,
+        })
+    }
+
+    /// Run one execution of `f` as thread 0 and wait for every model
+    /// thread to finish (or for an abort to drain them).
+    pub(crate) fn run(self: &Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) -> RunOutcome {
+        launch_thread(self, 0, Box::new(move || f()));
+        let mut g = self.inner.lock().unwrap();
+        while g.workers > 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+        RunOutcome {
+            decisions: std::mem::take(&mut g.decisions),
+            failure: g.abort.take().map(|msg| {
+                let mut out = msg;
+                let _ = write!(out, "\n{}", render_trace(&g.trace));
+                out
+            }),
+            schedule_points: g.steps,
+        }
+    }
+
+    /// The heart of the engine: a schedule point hit by `tid`.
+    fn switch(
+        self: &Arc<Self>,
+        tid: Tid,
+        point: Point,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) {
+        let mut g = self.inner.lock().unwrap();
+        if g.abort.is_some() {
+            // Teardown: drop glue running during an unwind must pass
+            // through without scheduling (the execution is already dead).
+            return;
+        }
+        debug_assert_eq!(g.active, tid, "schedule point from a non-active thread");
+        g.steps += 1;
+        if g.steps > self.config.max_steps {
+            let msg = format!(
+                "execution exceeded {} schedule points — livelock, or raise max_steps",
+                self.config.max_steps
+            );
+            self.abort_locked(&mut g, msg);
+            drop(g);
+            std::panic::panic_any(AbortSignal);
+        }
+        // Apply the previous point's write (it has executed by now).
+        if g.threads[tid].pending_write {
+            g.threads[tid].pending_write = false;
+            g.write_seq += 1;
+        }
+        g.threads[tid].last_op = op;
+        g.threads[tid].last_site = site;
+        g.threads[tid].status = match point {
+            Point::Op { write } => {
+                g.threads[tid].pending_write = write;
+                Status::Runnable
+            }
+            Point::Yield => Status::Yielded {
+                since_write: g.write_seq,
+            },
+            Point::Block(t) => Status::Blocked(t),
+            Point::Finish => Status::Finished,
+        };
+        if matches!(point, Point::Finish) {
+            g.live -= 1;
+            g.write_seq += 1;
+            for i in 0..g.threads.len() {
+                if g.threads[i].status == Status::Blocked(WaitTarget::Join(tid)) {
+                    g.threads[i].status = Status::Runnable;
+                }
+            }
+            if g.live == 0 {
+                self.cv.notify_all();
+                return;
+            }
+        }
+        // Schedulable set: runnable threads plus spinners someone has
+        // written past.
+        let ws = g.write_seq;
+        let mut options: Vec<Tid> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.status {
+                Status::Runnable => Some(i),
+                Status::Yielded { since_write } if ws > since_write => Some(i),
+                _ => None,
+            })
+            .collect();
+        if options.is_empty() {
+            let msg = format!(
+                "deadlock: no schedulable thread ({} alive)\n{}",
+                g.live,
+                describe_threads(&g.threads)
+            );
+            self.abort_locked(&mut g, msg);
+            drop(g);
+            std::panic::panic_any(AbortSignal);
+        }
+        // Preemption bounding (CHESS): once the budget is spent, a thread
+        // that could continue must continue.
+        let voluntary = !matches!(point, Point::Op { .. });
+        if !voluntary {
+            if let Some(maxp) = self.config.max_preemptions {
+                if g.preemptions >= maxp && options.contains(&tid) {
+                    options = vec![tid];
+                }
+            }
+        }
+        let chosen = if g.depth < g.decisions.len() {
+            let d = &g.decisions[g.depth];
+            assert_eq!(
+                d.options, options,
+                "nondeterministic model: replay diverged at depth {}",
+                g.depth
+            );
+            d.options[d.index]
+        } else {
+            let first = options[0];
+            g.decisions.push(Decision { options, index: 0 });
+            first
+        };
+        g.depth += 1;
+        g.trace.push(TraceEntry {
+            tid,
+            op,
+            site,
+            chosen,
+        });
+        if !voluntary && chosen != tid {
+            g.preemptions += 1;
+        }
+        if let Status::Yielded { .. } = g.threads[chosen].status {
+            g.threads[chosen].status = Status::Runnable;
+        }
+        g.active = chosen;
+        self.cv.notify_all();
+        if matches!(point, Point::Finish) || chosen == tid {
+            return;
+        }
+        self.park(g, tid);
+    }
+
+    /// Park until this thread is scheduled again (or the execution dies).
+    fn park(self: &Arc<Self>, mut g: std::sync::MutexGuard<'_, ExecInner>, tid: Tid) {
+        loop {
+            if g.abort.is_some() {
+                drop(g);
+                std::panic::panic_any(AbortSignal);
+            }
+            if g.active == tid && g.threads[tid].status == Status::Runnable {
+                return;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    fn abort_locked(&self, g: &mut ExecInner, msg: String) {
+        if g.abort.is_none() {
+            g.abort = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Register a freshly spawned model thread (caller is active).
+    fn register_thread(&self) -> Tid {
+        let mut g = self.inner.lock().unwrap();
+        let tid = g.threads.len();
+        g.threads.push(ThreadState {
+            status: Status::Runnable,
+            pending_write: false,
+            last_op: "spawned",
+            last_site: INIT_SITE,
+        });
+        g.live += 1;
+        g.workers += 1;
+        tid
+    }
+
+    /// Wake every thread blocked on `target` (they re-check and may
+    /// re-block; wakes are never lost because block decisions are made
+    /// while serialized).
+    fn wake_all(&self, target: WaitTarget) {
+        let mut g = self.inner.lock().unwrap();
+        for t in &mut g.threads {
+            if t.status == Status::Blocked(target) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wake the lowest-tid thread blocked on `target`; returns whether a
+    /// waiter existed.
+    fn wake_one(&self, target: WaitTarget) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        for t in &mut g.threads {
+            if t.status == Status::Blocked(target) {
+                t.status = Status::Runnable;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn is_finished(&self, tid: Tid) -> bool {
+        self.inner.lock().unwrap().threads[tid].status == Status::Finished
+    }
+
+    /// A worker's job ended (normally or by panic).
+    fn worker_done(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.workers -= 1;
+        if g.workers == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Record a panic that escaped a model thread.
+    fn abort_from_panic(&self, tid: Tid, payload: Box<dyn std::any::Any + Send>) {
+        if payload.downcast_ref::<AbortSignal>().is_some() {
+            return; // secondary unwind caused by the original abort
+        }
+        let text = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        let mut g = self.inner.lock().unwrap();
+        let msg = format!("thread t{tid} panicked: {text}");
+        if g.abort.is_none() {
+            g.abort = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+}
+
+fn describe_threads(threads: &[ThreadState]) -> String {
+    let mut out = String::new();
+    for (i, t) in threads.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  t{i}: {:?} — last {} at {}:{}",
+            t.status,
+            t.last_op,
+            t.last_site.file(),
+            t.last_site.line()
+        );
+    }
+    out
+}
+
+fn render_trace(trace: &[TraceEntry]) -> String {
+    const SHOWN: usize = 400;
+    let skip = trace.len().saturating_sub(SHOWN);
+    let mut out = format!(
+        "schedule ({} points{}):\n",
+        trace.len(),
+        if skip > 0 {
+            format!(", last {SHOWN} shown")
+        } else {
+            String::new()
+        }
+    );
+    for e in &trace[skip..] {
+        let _ = writeln!(
+            out,
+            "  t{} {:<24} {}:{} -> t{}",
+            e.tid,
+            e.op,
+            e.site.file(),
+            e.site.line(),
+            e.chosen
+        );
+    }
+    out
+}
+
+/// Advance the decision stack to the next unexplored schedule; `false`
+/// when the space is exhausted.
+pub(crate) fn advance(decisions: &mut Vec<Decision>) -> bool {
+    while let Some(d) = decisions.last_mut() {
+        if d.index + 1 < d.options.len() {
+            d.index += 1;
+            return true;
+        }
+        decisions.pop();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local model context and the public-ish hooks the primitives use.
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: Tid,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// A schedule point for an operation about to execute. A no-op outside
+/// a model, so the facade's types stay usable for construction, `Debug`
+/// printing, and single-threaded setup code.
+pub(crate) fn schedule(op: &'static str, write: bool, site: &'static Location<'static>) {
+    if let Some(c) = ctx() {
+        c.exec.switch(c.tid, Point::Op { write }, op, site);
+    }
+}
+
+/// A spin hint: demote this thread until another thread writes. No-op
+/// outside a model.
+pub(crate) fn yield_point(op: &'static str, site: &'static Location<'static>) {
+    if let Some(c) = ctx() {
+        c.exec.switch(c.tid, Point::Yield, op, site);
+    }
+}
+
+/// Park on `target`; returns when some thread wakes it (re-check and
+/// re-block if the condition is still false). Blocking is meaningless
+/// outside a model — the caller must check [`in_model`] first.
+pub(crate) fn block_on(target: WaitTarget, op: &'static str, site: &'static Location<'static>) {
+    let c = ctx().expect("kex-loom blocking primitive used outside of kex_loom::model()");
+    c.exec.switch(c.tid, Point::Block(target), op, site);
+}
+
+/// Wake every thread blocked on `target`. No-op outside a model.
+pub(crate) fn wake_all(target: WaitTarget) {
+    if let Some(c) = ctx() {
+        c.exec.wake_all(target);
+    }
+}
+
+/// Wake one thread blocked on `target`. No-op outside a model.
+pub(crate) fn wake_one(target: WaitTarget) {
+    if let Some(c) = ctx() {
+        c.exec.wake_one(target);
+    }
+}
+
+/// Register and launch a new model thread running `body`.
+pub(crate) fn spawn_model_thread(body: Box<dyn FnOnce() + Send>) -> Tid {
+    let c = ctx().expect("kex_loom::thread::spawn used outside of kex_loom::model()");
+    let tid = c.exec.register_thread();
+    launch_thread(&c.exec, tid, body);
+    tid
+}
+
+/// Whether model thread `tid` has finished (for join loops).
+pub(crate) fn thread_finished(tid: Tid) -> bool {
+    ctx()
+        .expect("JoinHandle::join used outside of kex_loom::model()")
+        .exec
+        .is_finished(tid)
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: model threads are real OS threads, reused across the
+// (possibly hundreds of thousands of) executions in one exploration.
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+static POOL: OnceLock<StdMutex<Vec<Sender<Job>>>> = OnceLock::new();
+
+fn pool() -> &'static StdMutex<Vec<Sender<Job>>> {
+    POOL.get_or_init(|| StdMutex::new(Vec::new()))
+}
+
+fn spawn_in_pool(job: Job) {
+    let idle = pool().lock().unwrap().pop();
+    match idle {
+        Some(tx) => match tx.send(job) {
+            Ok(()) => {}
+            Err(e) => spawn_worker(e.0), // worker died; replace it
+        },
+        None => spawn_worker(job),
+    }
+}
+
+fn spawn_worker(first: Job) {
+    let (tx, rx) = channel::<Job>();
+    tx.send(first).expect("fresh channel");
+    std::thread::Builder::new()
+        .name("kex-loom-worker".into())
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                job();
+                pool().lock().unwrap().push(tx.clone());
+            }
+        })
+        .expect("spawn kex-loom worker");
+}
+
+fn launch_thread(exec: &Arc<Execution>, tid: Tid, body: Job) {
+    let exec = exec.clone();
+    spawn_in_pool(Box::new(move || {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                exec: exec.clone(),
+                tid,
+            })
+        });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Wait to be scheduled for the first time.
+            {
+                let g = exec.inner.lock().unwrap();
+                exec.park(g, tid);
+            }
+            body();
+            let c = CTX.with(|c| c.borrow().clone()).expect("ctx set above");
+            c.exec
+                .switch(tid, Point::Finish, "finish", Location::caller());
+        }));
+        CTX.with(|c| *c.borrow_mut() = None);
+        if let Err(payload) = result {
+            exec.abort_from_panic(tid, payload);
+        }
+        exec.worker_done();
+    }));
+}
+
+/// Read an unsigned env knob, ignoring unset/garbage.
+pub(crate) fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// True if the calling OS thread currently hosts a model thread. Used by
+/// the atomics to decide whether to schedule (outside a model, the
+/// facade's types behave like plain `SeqCst` std atomics so `Debug`
+/// printing and construction stay usable).
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}

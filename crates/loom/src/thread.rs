@@ -1,0 +1,61 @@
+//! Model-checked thread spawn/join, mirroring the bits of
+//! `std::thread` the native test harnesses use.
+
+use std::panic::Location;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt::{self, WaitTarget};
+
+/// Handle to a spawned model thread; [`JoinHandle::join`] blocks
+/// (cooperatively) until it finishes.
+pub struct JoinHandle<T> {
+    tid: rt::Tid,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawns a new model thread. The scheduler interleaves it with every
+/// other thread at each synchronization point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::spawn_model_thread(Box::new(move || {
+        let value = f();
+        *slot.lock().unwrap() = Some(value);
+    }));
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value. The `Err`
+    /// arm exists for std signature compatibility; a panicking model
+    /// thread aborts the whole execution before any join completes.
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        let site = Location::caller();
+        loop {
+            rt::schedule("JoinHandle::join", false, site);
+            if rt::thread_finished(self.tid) {
+                break;
+            }
+            rt::block_on(WaitTarget::Join(self.tid), "JoinHandle::join", site);
+        }
+        match self.result.lock().unwrap().take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new(
+                "model thread terminated without a value".to_string(),
+            )),
+        }
+    }
+}
+
+/// A voluntary yield: demotes the calling thread until another thread
+/// performs a write (the spin-pruning reduction described in the crate
+/// docs).
+#[track_caller]
+pub fn yield_now() {
+    rt::yield_point("thread::yield_now", Location::caller());
+}

@@ -201,4 +201,63 @@ mod tests {
         let plan = FailurePlan::crash_in_cs([0, 1]);
         assert_resilience_precondition(&plan, 2);
     }
+
+    #[test]
+    fn crash_fires_in_exit_section() {
+        // A failure can land in the *exit* section: the victim is still
+        // "contending" in the paper's sense (outside its noncritical
+        // section), so it is faulty and may hold handshake state other
+        // processes depend on.
+        let mut w = world(2);
+        let mut plan = FailurePlan::new();
+        plan.push(FailureSpec {
+            pid: 0,
+            when: FailWhen::WhileContending { after_own_steps: 0 },
+        });
+        // Drive pid 0 through entry (1 skip step) and the critical
+        // section (cs_steps = 2) without polling, so the first poll
+        // happens with the victim in Exit.
+        w.step(0); // begins entry
+        w.step(0); // entry completes: critical (remaining 2)
+        w.step(0); // critical work
+        w.step(0); // critical work: remaining 0
+        w.step(0); // begins exit
+        assert_eq!(w.procs[0].phase, Phase::Exit);
+        assert_eq!(plan.poll(&mut w), vec![0]);
+        assert_eq!(w.procs[0].phase, Phase::Exit, "froze where it crashed");
+        assert!(w.procs[0].failed);
+        assert!(is_faulty(&w, 0), "failed in exit ⇒ faulty");
+        assert_eq!(plan.fired_count(), 1);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn second_crash_of_a_failed_pid_never_fires() {
+        // Crashing is idempotent: once a pid is failed, further specs
+        // targeting it can never fire — they stay pending forever, so
+        // `exhausted()` reports false and `fired_count()` is stable.
+        let mut w = world(3);
+        let mut plan = FailurePlan::new();
+        plan.push(FailureSpec {
+            pid: 1,
+            when: FailWhen::InCriticalSection,
+        });
+        plan.push(FailureSpec {
+            pid: 1,
+            when: FailWhen::AfterOwnSteps(1),
+        });
+        w.step(1); // begins entry
+        w.step(1); // entry completes: critical — both triggers now match
+        assert_eq!(plan.poll(&mut w), vec![1], "exactly one crash fires");
+        assert_eq!(plan.fired_count(), 1);
+        assert!(!plan.exhausted(), "duplicate spec must stay pending");
+        // Repolling (and even stepping the survivors) changes nothing.
+        for _ in 0..5 {
+            w.step(2);
+            assert!(plan.poll(&mut w).is_empty());
+        }
+        assert_eq!(plan.fired_count(), 1);
+        assert!(!plan.exhausted());
+        assert_eq!(plan.fired()[0].pid, 1);
+    }
 }

@@ -7,9 +7,12 @@
 //!   per-process slots never share a line (false sharing would corrupt
 //!   the RMR story the native benchmarks tell).
 //! * [`Backoff`] — bounded exponential spin/yield backoff for busy-wait
-//!   loops.
-//! * [`sync`] — non-poisoning [`sync::Mutex`] / [`sync::Condvar`]
-//!   wrappers over `std::sync` with a `parking_lot`-style API.
+//!   loops, routed through the [`sync::hint`] shim so the same loops are
+//!   explorable under the loom model checker.
+//! * [`sync`] — the loom-swappable synchronization facade: non-poisoning
+//!   [`sync::Mutex`] / [`sync::Condvar`], [`sync::atomic`],
+//!   [`sync::hint`], and [`sync::thread`]; `std`-backed normally,
+//!   `kex-loom`-backed under `RUSTFLAGS="--cfg loom"`.
 //! * [`rng`] — a small deterministic PRNG ([`rng::SmallRng`]) for
 //!   reproducible randomized schedules and tests.
 
@@ -90,14 +93,22 @@ impl Backoff {
     /// Backs off, spinning at first and yielding to the OS once the
     /// spin budget is exhausted. Call this in a loop that waits for
     /// another thread's progress.
+    ///
+    /// Under `cfg(loom)` every call is a single [`sync::hint::spin_loop`]
+    /// yield point: the model has no notion of wasted cycles, and one
+    /// hint per loop iteration is exactly the granularity the checker's
+    /// spin-pruning reduction wants.
     pub fn snooze(&self) {
         let step = self.step.get();
         if step <= SPIN_LIMIT {
+            #[cfg(not(loom))]
             for _ in 0..1u32 << step {
-                std::hint::spin_loop();
+                crate::sync::hint::spin_loop();
             }
+            #[cfg(loom)]
+            crate::sync::hint::spin_loop();
         } else {
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         }
         if step <= YIELD_LIMIT {
             self.step.set(step + 1);
@@ -108,9 +119,12 @@ impl Backoff {
     /// the wait is known to be short.
     pub fn spin(&self) {
         let step = self.step.get().min(SPIN_LIMIT);
+        #[cfg(not(loom))]
         for _ in 0..1u32 << step {
-            std::hint::spin_loop();
+            crate::sync::hint::spin_loop();
         }
+        #[cfg(loom)]
+        crate::sync::hint::spin_loop();
         if step <= SPIN_LIMIT {
             self.step.set(step + 1);
         }

@@ -1,177 +1,236 @@
-//! Non-poisoning [`Mutex`] / [`Condvar`] with a `parking_lot`-style
-//! API, backed by `std::sync`.
+//! Loom-swappable synchronization facade.
 //!
-//! The native algorithms use a mutex only to *model* the paper's
-//! multi-word atomic statements; lock poisoning is noise there (a
-//! panicking holder should not turn every later test failure into
-//! `PoisonError`), so these wrappers simply ignore poison.
+//! Everything the native algorithms synchronize through lives behind
+//! this module: [`Mutex`]/[`Condvar`], the [`atomic`] types, the
+//! [`hint::spin_loop`] shim, and [`thread`]. A normal build re-exports
+//! `std`-backed implementations; building with `RUSTFLAGS="--cfg loom"`
+//! swaps in the `kex-loom` model-checked replacements so the *same*
+//! algorithm code runs under exhaustive schedule exploration
+//! (`crates/core/tests/loom_models.rs`).
+//!
+//! Rules for code in `kex-core`'s native layer:
+//!
+//! * import atomics from `kex_util::sync::atomic`, never
+//!   `std::sync::atomic`;
+//! * busy-wait loops call [`hint::spin_loop`] (usually via
+//!   [`crate::Backoff`]), never `std::hint::spin_loop` — under loom the
+//!   shim is the yield point that makes spin loops explorable;
+//! * there is no `Condvar::wait_timeout`; [`Condvar::wait_for`] exists
+//!   but under loom it never times out, so algorithms must not rely on
+//!   timeouts for *progress* (a good constraint: the paper's protocols
+//!   are timeout-free).
+//!
+//! The std `Mutex`/`Condvar` are non-poisoning with a
+//! `parking_lot`-style API; the native algorithms use a mutex only to
+//! *model* the paper's multi-word atomic statements, where poisoning is
+//! noise (a panicking holder should not turn every later test failure
+//! into `PoisonError`).
 
-use std::fmt;
-use std::ops::{Deref, DerefMut};
-use std::sync::{self, PoisonError};
-use std::time::Duration;
+#[cfg(loom)]
+pub use kex_loom::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub use std_impl::{Condvar, Mutex, MutexGuard};
 
-/// A mutual-exclusion lock that does not poison on panic.
-pub struct Mutex<T: ?Sized> {
-    inner: sync::Mutex<T>,
+/// Atomic types, `std::sync::atomic` or model-checked under `cfg(loom)`.
+pub mod atomic {
+    #[cfg(loom)]
+    pub use kex_loom::atomic::{
+        AtomicBool, AtomicIsize, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicIsize, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
 }
 
-/// RAII guard for [`Mutex::lock`]; unlocks on drop.
-pub struct MutexGuard<'a, T: ?Sized> {
-    inner: sync::MutexGuard<'a, T>,
+/// Spin-hint shim; under `cfg(loom)` a spinning thread is demoted until
+/// another thread writes, which is what makes busy-wait loops finite in
+/// the model.
+pub mod hint {
+    #[cfg(loom)]
+    pub use kex_loom::hint::spin_loop;
+    #[cfg(not(loom))]
+    pub use std::hint::spin_loop;
 }
 
-impl<T> Mutex<T> {
-    /// A mutex holding `value`.
-    pub const fn new(value: T) -> Self {
-        Mutex {
-            inner: sync::Mutex::new(value),
+/// Thread spawn/join/yield, `std::thread` or model-checked.
+pub mod thread {
+    #[cfg(loom)]
+    pub use kex_loom::thread::{spawn, yield_now, JoinHandle};
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(not(loom))]
+mod std_impl {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{self, PoisonError};
+    use std::time::Duration;
+
+    /// A mutual-exclusion lock that does not poison on panic.
+    pub struct Mutex<T: ?Sized> {
+        inner: sync::Mutex<T>,
+    }
+
+    /// RAII guard for [`Mutex::lock`]; unlocks on drop.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        inner: sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A mutex holding `value`.
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the mutex, returning the protected value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
         }
     }
 
-    /// Consumes the mutex, returning the protected value.
-    pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-    }
-}
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, blocking until it is available.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
 
-impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, blocking until it is available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        /// Attempts to acquire the lock without blocking.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard { inner: g }),
+                Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    inner: p.into_inner(),
+                }),
+                Err(sync::TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
         }
     }
 
-    /// Attempts to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: p.into_inner(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
         }
     }
 
-    /// Mutable access without locking (requires `&mut self`).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.inner.fmt(f)
-    }
-}
-
-impl<T: Default> Default for Mutex<T> {
-    fn default() -> Self {
-        Mutex::new(T::default())
-    }
-}
-
-impl<T: ?Sized> Deref for MutexGuard<'_, T> {
-    type Target = T;
-
-    fn deref(&self) -> &T {
-        &self.inner
-    }
-}
-
-impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        (**self).fmt(f)
-    }
-}
-
-/// A condition variable paired with [`Mutex`].
-#[derive(Debug, Default)]
-pub struct Condvar {
-    inner: sync::Condvar,
-}
-
-impl Condvar {
-    /// A fresh condition variable.
-    pub const fn new() -> Self {
-        Condvar {
-            inner: sync::Condvar::new(),
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
         }
     }
 
-    /// Atomically releases the guard's lock and waits; re-acquires
-    /// before returning. Spurious wakeups are possible, as usual.
-    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        replace_guard(&mut guard.inner, |g| {
-            self.inner.wait(g).unwrap_or_else(PoisonError::into_inner)
-        });
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.inner
+        }
     }
 
-    /// Like [`Condvar::wait`] with a timeout; returns `true` if the
-    /// wait timed out.
-    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
-        let mut timed_out = false;
-        replace_guard(&mut guard.inner, |g| {
-            let (g, r) = self
-                .inner
-                .wait_timeout(g, timeout)
-                .unwrap_or_else(PoisonError::into_inner);
-            timed_out = r.timed_out();
-            g
-        });
-        timed_out
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
     }
 
-    /// Wakes one waiter.
-    pub fn notify_one(&self) {
-        self.inner.notify_one();
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            (**self).fmt(f)
+        }
     }
 
-    /// Wakes all waiters.
-    pub fn notify_all(&self) {
-        self.inner.notify_all();
+    /// A condition variable paired with [`Mutex`].
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: sync::Condvar,
+    }
+
+    impl Condvar {
+        /// A fresh condition variable.
+        pub const fn new() -> Self {
+            Condvar {
+                inner: sync::Condvar::new(),
+            }
+        }
+
+        /// Atomically releases the guard's lock and waits; re-acquires
+        /// before returning. Spurious wakeups are possible, as usual.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            replace_guard(&mut guard.inner, |g| {
+                self.inner.wait(g).unwrap_or_else(PoisonError::into_inner)
+            });
+        }
+
+        /// Like [`Condvar::wait`] with a timeout; returns `true` if the
+        /// wait timed out. Under `cfg(loom)` this never times out — see
+        /// the module docs.
+        pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+            let mut timed_out = false;
+            replace_guard(&mut guard.inner, |g| {
+                let (g, r) = self
+                    .inner
+                    .wait_timeout(g, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                timed_out = r.timed_out();
+                g
+            });
+            timed_out
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    /// Runs `f` on an owned `std` guard and stores the guard `f` returns.
+    ///
+    /// `Condvar::wait` consumes the guard by value while our public API
+    /// (matching `parking_lot`) takes `&mut`; the swap through `f` bridges
+    /// the two. If `f` unwinds the process aborts — preferable to UB.
+    fn replace_guard<'a, T: ?Sized>(
+        slot: &mut sync::MutexGuard<'a, T>,
+        f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
+    ) {
+        // SAFETY: `slot` is forgotten immediately after the read, so the
+        // guard is never duplicated; `abort_on_unwind` guarantees we never
+        // unwind past the moment where `slot` would dangle.
+        unsafe {
+            let guard = std::ptr::read(slot);
+            let bomb = AbortOnDrop;
+            let new_guard = f(guard);
+            std::mem::forget(bomb);
+            std::ptr::write(slot, new_guard);
+        }
+    }
+
+    struct AbortOnDrop;
+
+    impl Drop for AbortOnDrop {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
     }
 }
 
-/// Runs `f` on an owned `std` guard and stores the guard `f` returns.
-///
-/// `Condvar::wait` consumes the guard by value while our public API
-/// (matching `parking_lot`) takes `&mut`; the swap through `f` bridges
-/// the two. If `f` unwinds the process aborts — preferable to UB.
-fn replace_guard<'a, T: ?Sized>(
-    slot: &mut sync::MutexGuard<'a, T>,
-    f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
-) {
-    // SAFETY: `slot` is forgotten immediately after the read, so the
-    // guard is never duplicated; `abort_on_unwind` guarantees we never
-    // unwind past the moment where `slot` would dangle.
-    unsafe {
-        let guard = std::ptr::read(slot);
-        let bomb = AbortOnDrop;
-        let new_guard = f(guard);
-        std::mem::forget(bomb);
-        std::ptr::write(slot, new_guard);
-    }
-}
-
-struct AbortOnDrop;
-
-impl Drop for AbortOnDrop {
-    fn drop(&mut self) {
-        std::process::abort();
-    }
-}
-
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -233,5 +292,14 @@ mod tests {
         let cv = Condvar::new();
         let mut g = m.lock();
         assert!(cv.wait_for(&mut g, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn facade_paths_resolve() {
+        use super::atomic::{AtomicUsize, Ordering::SeqCst};
+        let x = AtomicUsize::new(1);
+        assert_eq!(x.fetch_add(1, SeqCst), 1);
+        super::hint::spin_loop();
+        super::thread::spawn(|| {}).join().unwrap();
     }
 }

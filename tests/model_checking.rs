@@ -5,6 +5,7 @@
 use kex::core::sim::Algorithm;
 use kex::sim::explore::{explore, ExploreConfig};
 use kex::sim::liveness::check_starvation_freedom;
+use kex::sim::replay::replay_with;
 
 /// (algorithm, n, k, cycles-bound, adversarial crashes, expect-liveness)
 ///
@@ -45,20 +46,42 @@ fn run(case: &Case) {
         max_failures: case.failures,
         ..ExploreConfig::default()
     };
-    let report = explore(proto, &cfg);
-    assert!(
-        report.is_clean(),
-        "{} (n={}, k={}, cycles={:?}, f={}): states={} truncated={} violation={:?} invariant={:?}",
-        case.algo.label(),
-        case.n,
-        case.k,
-        case.cycles,
-        case.failures,
-        report.states,
-        report.truncated,
-        report.violation,
-        report.invariant_failure,
-    );
+    let report = explore(proto.clone(), &cfg);
+    if !report.is_clean() {
+        // Don't just dump the raw violation: replay the BFS
+        // counterexample through the simulator and show the per-process
+        // lanes, so the failing interleaving is readable straight from
+        // the test log.
+        let diagnosis = report
+            .first_counterexample()
+            .map(|schedule| {
+                let trace = replay_with(
+                    proto,
+                    &schedule,
+                    cfg.timing,
+                    cfg.cycles,
+                    cfg.participants.as_deref(),
+                );
+                format!(
+                    "counterexample ({} labels):\n{}",
+                    schedule.len(),
+                    trace.render_lanes(case.n)
+                )
+            })
+            .unwrap_or_else(|| "no counterexample schedule recorded (truncated search?)".into());
+        panic!(
+            "{} (n={}, k={}, cycles={:?}, f={}): states={} truncated={} violation={:?} invariant={:?}\n{diagnosis}",
+            case.algo.label(),
+            case.n,
+            case.k,
+            case.cycles,
+            case.failures,
+            report.states,
+            report.truncated,
+            report.violation,
+            report.invariant_failure,
+        );
+    }
     if case.liveness {
         check_starvation_freedom(&report).unwrap_or_else(|s| {
             panic!(
@@ -153,6 +176,13 @@ fn counterexamples_from_the_matrix_are_replayable() {
     let report = explore(proto.clone(), &ExploreConfig::default());
     let schedule = report.first_counterexample().expect("violation expected");
     assert!(schedule.len() < 100, "BFS counterexamples should be short");
-    let trace = kex::sim::replay::replay(proto, &schedule);
+    let trace = kex::sim::replay::replay(proto.clone(), &schedule);
     assert!(trace.ends_in_violation());
+    // The pretty-printer `run()` uses on failure must produce a usable
+    // rendering of the same schedule.
+    let lanes = replay_with(proto, &schedule, Timing::default(), None, None).render_lanes(3);
+    assert!(
+        lanes.lines().count() > 1 && lanes.starts_with("step") && lanes.contains("p2"),
+        "render_lanes produced no lane output:\n{lanes}"
+    );
 }
