@@ -1,0 +1,372 @@
+//! E10 — measure the **native** algorithms' estimated remote references
+//! with the instrumented atomics backend (`kex-obs`) and check them
+//! against the Theorem 1–10 formulas.
+//!
+//! Where `table1`/`bounds` count exact RMRs on the discrete-event
+//! simulator, this binary runs the real `std::thread` implementations
+//! and lets the facade's instrumented backend estimate CC/DSM remote
+//! references per entry+exit pair. The two views should agree in shape:
+//! every algorithm's mean estimate under its *target* model must sit at
+//! or below the paper's worst-case formula.
+//!
+//! Run: `cargo run --release -p kex-bench --features obs --bin native_obs`
+//!
+//! Flags:
+//! * `--quick` — one small configuration, few cycles (CI smoke).
+//! * `--json <path>` — output path (default `BENCH_native.json`).
+//!
+//! Exits nonzero if any algorithm exceeds its bound or the occupancy
+//! gauge ever exceeds `k` — so CI can gate on it.
+//!
+//! ## Estimator caveats (see `docs/OBSERVABILITY.md`)
+//!
+//! * The per-pair numbers are **means**, compared against *worst-case*
+//!   bounds; the margin is expected to be large at low contention.
+//! * `QueueKex` and `SemaphoreKex` serialize on an OS mutex whose
+//!   traffic the facade cannot see; their rows are baselines only and
+//!   carry no bound.
+
+use std::sync::Arc;
+
+use kex_bench::JsonSink;
+use kex_core::native::{
+    CcChainKex, DsmChainKex, FastPathKex, GracefulKex, KAssignment, McsLock, QueueKex, RawKex,
+    SemaphoreKex, TreeKex, YangAndersonLock,
+};
+use kex_core::sim::tree_depth;
+use kex_obs::json::Json;
+use kex_obs::Section;
+
+/// One algorithm under measurement: a per-process entry/exit routine
+/// plus the theorem bound it must respect.
+struct Case {
+    name: &'static str,
+    /// `"cc"` or `"dsm"` — which estimate the bound constrains.
+    target_model: &'static str,
+    theorem: &'static str,
+    /// Worst-case remote references per entry+exit pair under the target
+    /// model, if the paper gives a closed formula for this `(n, k)`.
+    bound: Option<u64>,
+    /// Runs one full acquire → dwell → release cycle for process `p`.
+    runner: Box<dyn Fn(usize) + Send + Sync>,
+}
+
+/// Dwell inside the critical section long enough for holders to overlap
+/// (spins route through the facade, so they are counted, in the Cs
+/// section, without touching shared memory).
+fn dwell() {
+    for _ in 0..32 {
+        kex_util::sync::hint::spin_loop();
+    }
+}
+
+fn kex_case<K: RawKex + 'static>(
+    name: &'static str,
+    target_model: &'static str,
+    theorem: &'static str,
+    bound: Option<u64>,
+    kex: K,
+) -> Case {
+    let kex = Arc::new(kex);
+    Case {
+        name,
+        target_model,
+        theorem,
+        bound,
+        runner: Box::new(move |p| {
+            let guard = kex.enter(p);
+            dwell();
+            drop(guard);
+        }),
+    }
+}
+
+fn assignment_case(
+    name: &'static str,
+    target_model: &'static str,
+    theorem: &'static str,
+    bound: Option<u64>,
+    assign: KAssignment,
+) -> Case {
+    let assign = Arc::new(assign);
+    Case {
+        name,
+        target_model,
+        theorem,
+        bound,
+        runner: Box::new(move |p| {
+            let guard = assign.enter(p);
+            dwell();
+            drop(guard);
+        }),
+    }
+}
+
+fn cases(n: usize, k: usize) -> Vec<Case> {
+    let nu = n as u64;
+    let ku = k as u64;
+    let depth = tree_depth(n, k) as u64;
+    let thm3 = 7 * ku * (depth + 1) + 2;
+    let thm7 = 14 * ku * (depth + 1) + 2;
+    vec![
+        kex_case(
+            "cc-chain",
+            "cc",
+            "Thm 1",
+            Some(7 * (nu - ku)),
+            CcChainKex::new(n, k),
+        ),
+        kex_case(
+            "cc-tree",
+            "cc",
+            "Thm 2",
+            Some(7 * ku * depth),
+            TreeKex::cc(n, k),
+        ),
+        kex_case(
+            "cc-fastpath",
+            "cc",
+            "Thm 3",
+            Some(thm3),
+            FastPathKex::new(n, k),
+        ),
+        kex_case("cc-graceful", "cc", "Thm 4", None, GracefulKex::new(n, k)),
+        kex_case(
+            "dsm-chain",
+            "dsm",
+            "Thm 5",
+            Some(14 * (nu - ku)),
+            DsmChainKex::new(n, k),
+        ),
+        kex_case(
+            "dsm-tree",
+            "dsm",
+            "Thm 6",
+            Some(14 * ku * depth),
+            TreeKex::dsm(n, k),
+        ),
+        kex_case(
+            "dsm-fastpath",
+            "dsm",
+            "Thm 7",
+            Some(thm7),
+            FastPathKex::new_dsm(n, k),
+        ),
+        kex_case(
+            "dsm-graceful",
+            "dsm",
+            "Thm 8",
+            None,
+            GracefulKex::new_dsm(n, k),
+        ),
+        assignment_case(
+            "assignment-cc",
+            "cc",
+            "Thm 9",
+            Some(thm3 + ku + 1),
+            KAssignment::new(n, k),
+        ),
+        assignment_case(
+            "assignment-dsm",
+            "dsm",
+            "Thm 10",
+            Some(thm7 + ku + 1),
+            KAssignment::new_dsm(n, k),
+        ),
+        // Reference points, no paper bound: the k = 1 spin locks...
+        kex_case("mcs", "cc", "[12]", None, McsLock::new(n)),
+        kex_case(
+            "yang-anderson",
+            "cc",
+            "[14]",
+            None,
+            YangAndersonLock::new(n),
+        ),
+        // ...and the mutex/kernel baselines (facade-invisible traffic).
+        kex_case("queue-fig1", "cc", "[9,10]", None, QueueKex::new(n, k)),
+        kex_case("semaphore", "cc", "-", None, SemaphoreKex::new(n, k)),
+    ]
+}
+
+struct CaseResult {
+    json: Json,
+    ok: bool,
+}
+
+/// Run one case: `n` threads, `cycles` acquisitions each, then snapshot
+/// and reduce. Counters are reset before the run; each case builds fresh
+/// atomics, so holder masks and DSM homes start clean.
+fn run_case(case: &Case, n: usize, k: usize, cycles: u64) -> CaseResult {
+    kex_obs::reset();
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let runner = &case.runner;
+            s.spawn(move || {
+                for _ in 0..cycles {
+                    (runner)(p);
+                }
+            });
+        }
+    });
+    let snap = kex_obs::snapshot();
+
+    let pairs = n as u64 * cycles;
+    let entry = snap.section_totals(Section::Entry);
+    let exit = snap.section_totals(Section::Exit);
+    let cc_total = entry.cc_remote + exit.cc_remote;
+    let dsm_total = entry.dsm_remote + exit.dsm_remote;
+    let cc_mean = cc_total as f64 / pairs as f64;
+    let dsm_mean = dsm_total as f64 / pairs as f64;
+    let target_mean = match case.target_model {
+        "dsm" => dsm_mean,
+        _ => cc_mean,
+    };
+    let within_bound = case.bound.is_none_or(|b| target_mean <= b as f64);
+
+    let occupancy_max = snap.occupancy.max;
+    // Baselines with k() == 1 (MCS, Yang–Anderson) still run with the
+    // sweep's k in scope; their own bound is 1.
+    let k_eff = match case.name {
+        "mcs" | "yang-anderson" => 1,
+        _ => k,
+    };
+    let occupancy_ok = occupancy_max <= k_eff as i64 && snap.occupancy.current == 0;
+
+    // Entry-section latency, merged across pids.
+    let mut entry_hist = std::collections::BTreeMap::new();
+    for p in snap.per_pid.iter().filter(|p| p.pid.is_some()) {
+        for &(floor, count) in &p.hists[Section::Entry as usize].buckets {
+            *entry_hist.entry(floor).or_insert(0u64) += count;
+        }
+    }
+    let merged = kex_obs::HistSnapshot {
+        buckets: entry_hist.into_iter().collect(),
+    };
+
+    let json = Json::obj(vec![
+        ("name", case.name.into()),
+        ("target_model", case.target_model.into()),
+        ("theorem", case.theorem.into()),
+        ("pairs", pairs.into()),
+        (
+            "cc",
+            Json::obj(vec![
+                ("total_remote", cc_total.into()),
+                ("mean_remote_per_pair", cc_mean.into()),
+            ]),
+        ),
+        (
+            "dsm",
+            Json::obj(vec![
+                ("total_remote", dsm_total.into()),
+                ("mean_remote_per_pair", dsm_mean.into()),
+            ]),
+        ),
+        (
+            "ops_per_pair",
+            ((entry.ops() + exit.ops()) as f64 / pairs as f64).into(),
+        ),
+        ("entry_spins_total", entry.spins.into()),
+        (
+            "entry_latency",
+            Json::obj(vec![
+                (
+                    "p50_ns_floor",
+                    merged.quantile_floor(0.50).map_or(Json::Null, Json::U64),
+                ),
+                (
+                    "p99_ns_floor",
+                    merged.quantile_floor(0.99).map_or(Json::Null, Json::U64),
+                ),
+            ]),
+        ),
+        ("occupancy_max", Json::I64(occupancy_max)),
+        ("occupancy_ok", occupancy_ok.into()),
+        ("bound_per_pair", case.bound.map_or(Json::Null, Json::U64)),
+        ("mean_remote_per_pair_target", target_mean.into()),
+        ("within_bound", within_bound.into()),
+    ]);
+
+    println!(
+        "{:<16} {:>6} | cc {:>8.2} dsm {:>8.2} | bound {:>5} ({:<6}) {:>4} | occ {}/{} {}",
+        case.name,
+        case.target_model,
+        cc_mean,
+        dsm_mean,
+        case.bound.map_or_else(|| "-".to_owned(), |b| b.to_string()),
+        case.theorem,
+        if case.bound.is_none() {
+            "-"
+        } else if within_bound {
+            "ok"
+        } else {
+            "OVER"
+        },
+        occupancy_max,
+        k_eff,
+        if occupancy_ok { "ok" } else { "BAD" },
+    );
+
+    CaseResult {
+        json,
+        ok: within_bound && occupancy_ok,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut sink = JsonSink::from_args();
+    if !sink.enabled() {
+        // This binary always writes its document — it exists to produce
+        // the committed BENCH_native.json.
+        sink = JsonSink::from_args_or_default("BENCH_native.json");
+    }
+
+    let (configs, cycles): (&[(usize, usize)], u64) = if quick {
+        (&[(8, 2)], 50)
+    } else {
+        (&[(8, 2), (16, 4)], 200)
+    };
+
+    let mut all_ok = true;
+    let mut config_docs = Vec::new();
+    for &(n, k) in configs {
+        println!("=== native estimates: N = {n}, k = {k}, {cycles} cycles/thread ===");
+        println!(
+            "{:<16} {:>6} | {:>11} {:>12} | {:>20} {:>6} | occupancy",
+            "algorithm", "model", "cc mean", "dsm mean", "bound (theorem)", ""
+        );
+        let mut algo_docs = Vec::new();
+        for case in cases(n, k) {
+            let result = run_case(&case, n, k, cycles);
+            all_ok &= result.ok;
+            algo_docs.push(result.json);
+        }
+        println!();
+        config_docs.push(Json::obj(vec![
+            ("n", n.into()),
+            ("k", k.into()),
+            ("cycles_per_thread", cycles.into()),
+            ("algorithms", Json::arr(algo_docs)),
+        ]));
+    }
+
+    sink.put("schema", "kex-bench/native_obs/v1".into());
+    sink.put("quick", quick.into());
+    sink.put(
+        "note",
+        "mean estimated remote references per entry+exit pair from the \
+         instrumented atomics backend, vs the paper's worst-case formulas \
+         under each algorithm's target model"
+            .into(),
+    );
+    sink.put("configs", Json::arr(config_docs));
+    sink.finish();
+
+    if !all_ok {
+        eprintln!("FAIL: a bound or occupancy check was violated (see rows above)");
+        std::process::exit(1);
+    }
+    println!("all bounds respected; occupancy never exceeded k");
+}

@@ -7,8 +7,11 @@
 //! queue baseline wedges at `f = 1` when the victim dies *waiting*.
 //!
 //! Run: `cargo run --release -p kex-bench --bin resilience`
+//! (add `--json <path>` for a machine-readable copy)
 
+use kex_bench::JsonSink;
 use kex_core::sim::Algorithm;
+use kex_obs::json::Json;
 use kex_sim::prelude::*;
 
 const N: usize = 10;
@@ -49,7 +52,16 @@ fn run(algo: Algorithm, f: usize, seed: u64, crash_waiting: bool) -> (usize, usi
     (done, N - f, report.stop == StopReason::StepBudget)
 }
 
+fn cell_json(done: usize, total: usize, wedged: bool) -> Json {
+    Json::obj(vec![
+        ("survivors_done", done.into()),
+        ("survivors", total.into()),
+        ("wedged", wedged.into()),
+    ])
+}
+
 fn main() {
+    let mut sink = JsonSink::from_args();
     println!("E7: resiliency — {N} processes, k = {K}, crashes inside the CS");
     println!(
         "(paper claim: (k-1)-resilient, i.e. full progress for f <= {})\n",
@@ -72,8 +84,10 @@ fn main() {
         Algorithm::QueueFig1,
         Algorithm::GlobalSpin,
     ];
+    let mut cs_docs = Vec::new();
     for algo in algos {
         let mut cells = Vec::new();
+        let mut f_docs = Vec::new();
         for f in 0..=K {
             let (done, total, wedged) = run(algo, f, 7, false);
             cells.push(if done == total {
@@ -83,6 +97,9 @@ fn main() {
             } else {
                 format!("{done}/{total}?")
             });
+            if sink.enabled() {
+                f_docs.push(cell_json(done, total, wedged));
+            }
         }
         println!(
             "{:<24} {:>7} {:>7} {:>7} {:>9}",
@@ -92,6 +109,12 @@ fn main() {
             cells[2],
             cells[3]
         );
+        if sink.enabled() {
+            cs_docs.push(Json::obj(vec![
+                ("algorithm", algo.label().into()),
+                ("by_failures", Json::arr(f_docs)),
+            ]));
+        }
     }
     println!("\ncells: survivors-finished / survivors; '*' = run wedged (step budget hit)");
     println!(
@@ -106,12 +129,14 @@ fn main() {
         "algorithm", "f=1", "f=2", "f=3 (=k)"
     );
     println!("{}", "-".repeat(52));
+    let mut waiting_docs = Vec::new();
     for algo in [
         Algorithm::QueueFig1,
         Algorithm::CcChain,
         Algorithm::DsmChain,
     ] {
         let mut cells = Vec::new();
+        let mut f_docs = Vec::new();
         for f in 1..=K {
             let (done, total, wedged) = run(algo, f, 7, true);
             cells.push(if done == total {
@@ -121,6 +146,9 @@ fn main() {
             } else {
                 format!("{done}/{total}?")
             });
+            if sink.enabled() {
+                f_docs.push(cell_json(done, total, wedged));
+            }
         }
         println!(
             "{:<24} {:>7} {:>7} {:>9}",
@@ -129,6 +157,12 @@ fn main() {
             cells[1],
             cells[2]
         );
+        if sink.enabled() {
+            waiting_docs.push(Json::obj(vec![
+                ("algorithm", algo.label().into()),
+                ("by_failures_from_1", Json::arr(f_docs)),
+            ]));
+        }
     }
     println!("\nexpected: each waiting crash permanently consumes one slot in every");
     println!("counting algorithm (atomic Figure 1 included); all survive f <= k-1 and");
@@ -136,4 +170,12 @@ fn main() {
     println!("sections cannot be built from realistic primitives — is demonstrated by");
     println!("the `fig1_nonatomic` negative control in the test suite, where the model");
     println!("checker finds a k-exclusion violation after the brackets are removed.");
+
+    sink.put("schema", "kex-bench/resilience/v1".into());
+    sink.put("n", N.into());
+    sink.put("k", K.into());
+    sink.put("cycles", CYCLES.into());
+    sink.put("crash_in_cs", Json::arr(cs_docs));
+    sink.put("crash_while_waiting", Json::arr(waiting_docs));
+    sink.finish();
 }

@@ -10,9 +10,12 @@
 //! divergence.
 //!
 //! Run: `cargo run --release -p kex-bench --bin table1`
+//! (add `--json <path>` for a machine-readable copy)
 
-use kex_bench::{measure, Workload};
+use kex_bench::report::measurement_json;
+use kex_bench::{measure, JsonSink, Workload};
 use kex_core::sim::{tree_depth, Algorithm};
+use kex_obs::json::Json;
 use kex_sim::memmodel::MemoryModel;
 
 struct Row {
@@ -128,8 +131,11 @@ fn rows() -> Vec<Row> {
 }
 
 fn main() {
+    let mut sink = JsonSink::from_args();
+    let mut config_docs = Vec::new();
     let configs = [(8usize, 2usize), (16, 2), (16, 4), (32, 4)];
     for (n, k) in configs {
+        let mut row_docs = Vec::new();
         println!("==============================================================================");
         println!("TABLE 1 reproduction: N = {n}, k = {k} (worst RMRs per entry+exit pair)");
         println!("==============================================================================");
@@ -162,8 +168,27 @@ fn main() {
                 ok,
                 row.paper_with,
             );
+            if sink.enabled() {
+                row_docs.push(Json::obj(vec![
+                    ("algorithm", row.algo.label().into()),
+                    ("model", row.algo.model().label().into()),
+                    ("paper_with_contention", row.paper_with.into()),
+                    ("paper_without_contention", row.paper_without.into()),
+                    ("low_contention", measurement_json(&low)),
+                    ("full_contention", measurement_json(&high)),
+                    ("bound", bound.map_or(Json::Null, Json::U64)),
+                    ("within_bound", Json::Bool(ok != "NO!")),
+                ]));
+            }
         }
         println!();
+        if sink.enabled() {
+            config_docs.push(Json::obj(vec![
+                ("n", n.into()),
+                ("k", k.into()),
+                ("rows", Json::arr(row_docs)),
+            ]));
+        }
     }
 
     println!("paper's w/o-contention column and instruction sets:");
@@ -190,6 +215,7 @@ fn main() {
         "algorithm", "cs=2", "cs=20", "cs=200", "cs=2000"
     );
     println!("{}", "-".repeat(70));
+    let mut sweep_docs = Vec::new();
     for algo in [
         Algorithm::GlobalSpin,
         Algorithm::QueueFig1,
@@ -214,8 +240,27 @@ fn main() {
             cells[2],
             cells[3]
         );
+        if sink.enabled() {
+            sweep_docs.push(Json::obj(vec![
+                ("algorithm", algo.label().into()),
+                (
+                    "worst_pair_by_cs_dwell",
+                    Json::obj(vec![
+                        ("2", cells[0].into()),
+                        ("20", cells[1].into()),
+                        ("200", cells[2].into()),
+                        ("2000", cells[3].into()),
+                    ]),
+                ),
+            ]));
+        }
     }
     println!();
     println!("reading: the two baselines' cost grows without bound as winners dwell");
     println!("longer; the paper's local-spin algorithms are flat — the whole point.");
+
+    sink.put("schema", "kex-bench/table1/v1".into());
+    sink.put("configs", Json::arr(config_docs));
+    sink.put("dsm_dwell_sweep_n8_k2", Json::arr(sweep_docs));
+    sink.finish();
 }

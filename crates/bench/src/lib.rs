@@ -20,5 +20,7 @@
 
 pub mod harness;
 pub mod microbench;
+pub mod report;
 
 pub use harness::{measure, Measurement, Workload};
+pub use report::JsonSink;

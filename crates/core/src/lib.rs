@@ -51,4 +51,5 @@
 #![warn(rust_2018_idioms)]
 
 pub mod native;
+pub mod obs;
 pub mod sim;

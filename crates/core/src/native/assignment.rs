@@ -68,12 +68,18 @@ impl KAssignment {
     /// Enter: acquires a k-exclusion slot, then a unique name. The guard
     /// releases both (name first, as in Figure 7) on drop.
     pub fn enter(&self, p: usize) -> NameGuard<'_> {
+        // One Entry span covering both the k-exclusion acquisition and the
+        // renaming loop: the inner kex's own span nests transparently, so
+        // the Figure-7 test-and-sets are attributed to this entry section.
+        let entry = crate::obs::span(crate::obs::Section::Entry, p);
         self.kex.acquire(p);
         let name = self.names.acquire_name();
+        drop(entry);
         NameGuard {
             owner: self,
             p,
             name,
+            cs: Some(crate::obs::span(crate::obs::Section::Cs, p)),
         }
     }
 }
@@ -85,6 +91,9 @@ pub struct NameGuard<'a> {
     owner: &'a KAssignment,
     p: usize,
     name: usize,
+    /// Critical-section observability span; closed before the releases so
+    /// the occupancy gauge never counts an exiting process.
+    cs: Option<crate::obs::SpanGuard>,
 }
 
 impl NameGuard<'_> {
@@ -101,6 +110,12 @@ impl NameGuard<'_> {
 
 impl Drop for NameGuard<'_> {
     fn drop(&mut self) {
+        // Close the Cs span first so the occupancy gauge never counts
+        // an exiting process. (`= None`, not `drop(..take())`: the
+        // disabled-backend guard is a Drop-less ZST and clippy objects
+        // to dropping it explicitly.)
+        self.cs = None;
+        let _obs = crate::obs::span(crate::obs::Section::Exit, self.p);
         // Figure 7 order: release the name (statement 3), then the
         // k-exclusion (statement 4).
         self.owner.names.release_name(self.name);

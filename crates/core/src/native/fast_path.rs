@@ -95,7 +95,11 @@ impl FastPathKex {
                 slow: TreeKex::with_factory(n, k, factory),
                 block: factory(n, 2 * k, k),
                 slow_flag: (0..n)
-                    .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                    .map(|owner| {
+                        let flag = CachePadded::new(AtomicUsize::new(0));
+                        kex_util::sync::assign_home(&*flag, owner);
+                        flag
+                    })
                     .collect(),
             }
         };
@@ -114,6 +118,7 @@ impl RawKex for FastPathKex {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         match &self.inner {
             FastPathInner::Single(b) => b.acquire(p),
             FastPathInner::Split {
@@ -135,6 +140,7 @@ impl RawKex for FastPathKex {
     }
 
     fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         match &self.inner {
             FastPathInner::Single(b) => b.release(p),
             FastPathInner::Split {
@@ -222,7 +228,11 @@ impl GracefulKex {
             levels,
             base: factory(n, pop, k),
             depth: (0..n)
-                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .map(|owner| {
+                    let slot = CachePadded::new(AtomicUsize::new(0));
+                    kex_util::sync::assign_home(&*slot, owner);
+                    slot
+                })
                 .collect(),
             n,
             k,
@@ -246,6 +256,7 @@ impl RawKex for GracefulKex {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         // Descend until a fast slot is grabbed (or the base is reached).
         let mut d = 0;
         while d < self.levels.len() && !try_grab(&self.levels[d].x) {
@@ -266,6 +277,7 @@ impl RawKex for GracefulKex {
     }
 
     fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         let d = self.depth[p].load(SeqCst);
         // Mirror image: "exit(i) = block_i ; [exit(i+1) | X_i += 1]".
         if !self.levels.is_empty() {

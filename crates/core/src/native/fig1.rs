@@ -50,7 +50,13 @@ impl QueueKex {
                 queue: VecDeque::with_capacity(n),
             }),
             waiting: (0..n)
-                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .map(|owner| {
+                    let flag = CachePadded::new(AtomicBool::new(false));
+                    // DSM accounting: each spin flag lives in its waiter's
+                    // memory partition.
+                    kex_util::sync::assign_home(&*flag, owner);
+                    flag
+                })
                 .collect(),
             n,
             k,
@@ -69,6 +75,7 @@ impl RawKex for QueueKex {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         // Statement 1 (atomic): if f&i(X,-1) <= 0 then Enqueue(p, Q).
         let must_wait = {
             let mut st = self.inner.lock();
@@ -91,7 +98,8 @@ impl RawKex for QueueKex {
         }
     }
 
-    fn release(&self, _p: usize) {
+    fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         // Statement 3 (atomic): Dequeue(Q); f&i(X, 1).
         let mut st = self.inner.lock();
         if let Some(q) = st.queue.pop_front() {

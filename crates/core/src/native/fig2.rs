@@ -127,12 +127,14 @@ impl RawKex for CcChainKex {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         for stage in &self.stages {
             stage.acquire(p);
         }
     }
 
     fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         for stage in self.stages.iter().rev() {
             stage.release(p);
         }

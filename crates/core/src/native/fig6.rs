@@ -32,12 +32,23 @@ struct ProcSlots {
 }
 
 impl ProcSlots {
-    fn new(locs: usize) -> Self {
-        ProcSlots {
+    fn new(locs: usize, owner: usize) -> Self {
+        let slots = ProcSlots {
             p: (0..locs).map(|_| AtomicBool::new(false)).collect(),
             r: (0..locs).map(|_| AtomicIsize::new(0)).collect(),
             last: AtomicUsize::new(0),
+        };
+        // DSM accounting: every location in this slice lives in the
+        // owner's memory partition — that is the whole point of the
+        // Figure-6 design (processes spin only on their own P[p][..]).
+        for flag in &slots.p {
+            kex_util::sync::assign_home(flag, owner);
         }
+        for counter in &slots.r {
+            kex_util::sync::assign_home(counter, owner);
+        }
+        kex_util::sync::assign_home(&slots.last, owner);
+        slots
     }
 }
 
@@ -59,7 +70,7 @@ impl DsmStage {
             x: CachePadded::new(AtomicIsize::new(j as isize)),
             q: CachePadded::new(AtomicU64::new(0)), // (pid 0, loc 0)
             slots: (0..n)
-                .map(|_| CachePadded::new(ProcSlots::new(locs)))
+                .map(|owner| CachePadded::new(ProcSlots::new(locs, owner)))
                 .collect(),
             locs,
         }
@@ -187,12 +198,14 @@ impl RawKex for DsmChainKex {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         for stage in &self.stages {
             stage.acquire(p);
         }
     }
 
     fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         for stage in self.stages.iter().rev() {
             stage.release(p);
         }

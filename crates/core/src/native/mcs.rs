@@ -45,11 +45,16 @@ impl McsLock {
         McsLock {
             tail: CachePadded::new(AtomicUsize::new(NIL)),
             nodes: (0..n)
-                .map(|_| {
-                    CachePadded::new(QNode {
+                .map(|owner| {
+                    let node = CachePadded::new(QNode {
                         next: AtomicUsize::new(NIL),
                         locked: AtomicBool::new(false),
-                    })
+                    });
+                    // DSM accounting: each queue node lives in its owner's
+                    // memory partition (the point of MCS: spin locally).
+                    kex_util::sync::assign_home(&node.next, owner);
+                    kex_util::sync::assign_home(&node.locked, owner);
+                    node
                 })
                 .collect(),
         }
@@ -67,6 +72,7 @@ impl RawKex for McsLock {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.nodes.len(), "pid {p} out of range");
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         let me = &self.nodes[p];
         me.next.store(NIL, SeqCst);
         let pred = self.tail.swap(p, SeqCst);
@@ -81,6 +87,7 @@ impl RawKex for McsLock {
     }
 
     fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         let me = &self.nodes[p];
         if me.next.load(SeqCst) == NIL {
             // No visible successor: try to swing the tail back.

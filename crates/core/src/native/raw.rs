@@ -46,7 +46,11 @@ pub trait RawKex: Send + Sync {
         Self: Sized,
     {
         self.acquire(p);
-        KexGuard { kex: self, p }
+        KexGuard {
+            kex: self,
+            p,
+            cs: Some(crate::obs::span(crate::obs::Section::Cs, p)),
+        }
     }
 }
 
@@ -56,6 +60,9 @@ pub trait RawKex: Send + Sync {
 pub struct KexGuard<'a> {
     kex: &'a dyn RawKexObject,
     p: usize,
+    /// Critical-section observability span; closed just before release
+    /// so the occupancy gauge never counts an exiting process.
+    cs: Option<crate::obs::SpanGuard>,
 }
 
 impl KexGuard<'_> {
@@ -67,6 +74,7 @@ impl KexGuard<'_> {
 
 impl Drop for KexGuard<'_> {
     fn drop(&mut self) {
+        self.cs = None;
         self.kex.release(self.p);
     }
 }

@@ -48,7 +48,8 @@ impl RawKex for SemaphoreKex {
         self.k
     }
 
-    fn acquire(&self, _p: usize) {
+    fn acquire(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         let mut permits = self.permits.lock();
         while *permits == 0 {
             self.cv.wait(&mut permits);
@@ -56,7 +57,8 @@ impl RawKex for SemaphoreKex {
         *permits -= 1;
     }
 
-    fn release(&self, _p: usize) {
+    fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         let mut permits = self.permits.lock();
         *permits += 1;
         drop(permits);

@@ -116,6 +116,7 @@ impl RawKex for TreeKex {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.n, "pid {p} out of range 0..{}", self.n);
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         if let Some(single) = &self.single {
             single.acquire(p);
             return;
@@ -126,6 +127,7 @@ impl RawKex for TreeKex {
     }
 
     fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         if let Some(single) = &self.single {
             single.release(p);
             return;

@@ -32,7 +32,15 @@ impl Ya2 {
                 CachePadded::new(AtomicIsize::new(NIL)),
             ],
             t: CachePadded::new(AtomicIsize::new(NIL)),
-            p: (0..n).map(|_| CachePadded::new(AtomicU8::new(0))).collect(),
+            p: (0..n)
+                .map(|owner| {
+                    let flag = CachePadded::new(AtomicU8::new(0));
+                    // DSM accounting: each spin flag lives in its owner's
+                    // memory partition (the algorithm's local-spin claim).
+                    kex_util::sync::assign_home(&*flag, owner);
+                    flag
+                })
+                .collect(),
         }
     }
 }
@@ -112,12 +120,14 @@ impl RawKex for YangAndersonLock {
 
     fn acquire(&self, p: usize) {
         assert!(p < self.n, "pid {p} out of range");
+        let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         for level in 0..self.levels.len() {
             self.round(level, p);
         }
     }
 
     fn release(&self, p: usize) {
+        let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         for level in (0..self.levels.len()).rev() {
             self.unround(level, p);
         }

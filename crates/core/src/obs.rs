@@ -1,0 +1,63 @@
+//! Section-span shim for the native algorithms.
+//!
+//! The native layer annotates its protocol sections — entry section,
+//! exit section, critical section — by opening a [`span`] at the
+//! boundary and holding the guard for the section's duration. What a
+//! span *does* depends on the build:
+//!
+//! * `--features obs` (and not loom): re-exports `kex_obs`'s real spans.
+//!   While a span is live, every facade atomic operation and spin
+//!   iteration on the thread is attributed to the `(process, section)`
+//!   pair, and top-level spans record latency, completion counts, and
+//!   the critical-section occupancy gauge.
+//! * default build, or any build under `RUSTFLAGS="--cfg loom"`: the
+//!   types below — a fieldless guard with no `Drop` impl and an
+//!   `#[inline(always)]` constructor. The annotation compiles to
+//!   nothing: no state, no branches, no schedule points. Keeping the
+//!   shim inert under loom is what guarantees observability can never
+//!   perturb model-checked interleavings
+//!   (`tests/loom_models.rs::obs_spans_do_not_perturb_schedules`).
+//!
+//! Algorithms use it as:
+//!
+//! ```rust
+//! # let p = 0usize;
+//! let _obs = kex_core::obs::span(kex_core::obs::Section::Entry, p);
+//! // ... entry-section ops, attributed to (p, entry) when enabled ...
+//! drop(_obs);
+//! ```
+
+#[cfg(all(feature = "obs", not(loom)))]
+pub use kex_obs::{span, Section, SpanGuard};
+
+#[cfg(not(all(feature = "obs", not(loom))))]
+mod noop {
+    /// Protocol section labels; mirrors `kex_obs::Section` so algorithm
+    /// code is identical under every backend.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum Section {
+        /// The entry section (acquire path) of a protocol.
+        Entry,
+        /// The exit section (release path) of a protocol.
+        Exit,
+        /// Inside the critical section.
+        Cs,
+        /// Instrumented work outside any annotated section.
+        Other,
+    }
+
+    /// Inert span guard: a zero-sized type with no `Drop` impl, so the
+    /// whole annotation is erased at compile time.
+    #[derive(Debug)]
+    #[must_use = "a span guard attributes operations only while it is live"]
+    pub struct SpanGuard(());
+
+    /// Opens a no-op span.
+    #[inline(always)]
+    pub fn span(_section: Section, _pid: usize) -> SpanGuard {
+        SpanGuard(())
+    }
+}
+
+#[cfg(not(all(feature = "obs", not(loom))))]
+pub use noop::{span, Section, SpanGuard};

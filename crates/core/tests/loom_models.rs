@@ -447,6 +447,61 @@ fn resilient_counter_n3_k2() {
     );
 }
 
+// --- observability is inert under loom ------------------------------------
+
+/// Under `cfg(loom)` the `kex_core::obs` shim must be a zero-sized
+/// no-op, whatever cargo features are enabled: spans may never add
+/// schedule points or the model-checking results would stop covering
+/// the uninstrumented production build. We run the same (2,1) chain
+/// model twice — bare, and drowning in redundant span annotations —
+/// and require bit-identical exploration statistics.
+#[test]
+fn obs_spans_do_not_perturb_schedules() {
+    fn explore(annotate: bool) -> kex_loom::Stats {
+        Builder::new().check(move || {
+            let kex = Arc::new(CcChainKex::new(2, 1));
+            let inside = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|p| {
+                    let kex = Arc::clone(&kex);
+                    let inside = Arc::clone(&inside);
+                    thread::spawn(move || {
+                        let outer =
+                            annotate.then(|| kex_core::obs::span(kex_core::obs::Section::Other, p));
+                        kex.acquire(p);
+                        let cs =
+                            annotate.then(|| kex_core::obs::span(kex_core::obs::Section::Cs, p));
+                        let now = inside.fetch_add(1, SeqCst) + 1;
+                        assert!(now <= 1, "k-exclusion violated: {now} > k=1");
+                        inside.fetch_sub(1, SeqCst);
+                        drop(cs);
+                        kex.release(p);
+                        drop(outer);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    }
+
+    let bare = explore(false);
+    let annotated = explore(true);
+    assert_eq!(
+        bare.executions, annotated.executions,
+        "span annotations changed the number of explored interleavings"
+    );
+    assert_eq!(
+        bare.schedule_points, annotated.schedule_points,
+        "span annotations introduced schedule points"
+    );
+    eprintln!(
+        "obs inertness: {} executions, {} schedule points, identical with and without spans",
+        bare.executions, bare.schedule_points
+    );
+}
+
 // --- checker power: the injected Figure-2 ordering bug --------------------
 
 /// Figure 2's admission gate with the atomic `fetch_sub` deliberately

@@ -1,0 +1,130 @@
+//! Scripted single-thread schedules with **exact** expected counter
+//! values from the instrumented atomics backend.
+//!
+//! With one thread there is exactly one interleaving, so every counter
+//! is deterministic and the test can pin the estimator's CC/DSM
+//! semantics op by op (mirroring `kex_sim::memmodel`):
+//!
+//! * CC read: local iff the reader already holds the line; a miss
+//!   inserts the reader into the holder set.
+//! * CC write/RMW: local iff the writer is the *sole* holder; otherwise
+//!   remote, and the writer becomes sole holder.
+//! * DSM: static owner; every access to an unowned or foreign-owned
+//!   location is remote.
+//!
+//! Runs only with `--features obs`; it is an integration test so it gets
+//! its own process and its own (otherwise untouched) global registry.
+
+#![cfg(all(feature = "obs", not(loom)))]
+
+use kex_core::native::{CcChainKex, RawKex};
+use kex_obs::Section;
+
+/// The whole file is one `#[test]`: the registry is process-global and
+/// the libtest harness runs `#[test]` fns concurrently, so independent
+/// tests would race each other's `reset()`.
+#[test]
+fn scripted_single_thread_schedule_has_exact_counts() {
+    cc_chain_2_1_exact_counts();
+    second_acquisition_hits_warm_cache();
+    guard_drives_occupancy_gauge_and_cs_span();
+}
+
+/// `CcChainKex::new(2, 1)` is a single Figure-2 stage (`X`, `Q`).
+/// Uncontended acquire touches only `X`; release touches `X` and `Q`.
+fn cc_chain_2_1_exact_counts() {
+    kex_obs::reset();
+    let kex = CcChainKex::new(2, 1);
+
+    kex.acquire(0);
+    let snap = kex_obs::snapshot();
+    let entry = snap.section_totals(Section::Entry);
+    // Statement 2: one fetch&add on X. First touch of the line: CC
+    // remote (pid 0 becomes sole holder); no DSM owner, so DSM remote.
+    assert_eq!(entry.rmws, 1, "acquire = exactly one RMW on X");
+    assert_eq!(entry.loads, 0, "slot was free: no re-check, no spin");
+    assert_eq!(entry.stores, 0);
+    assert_eq!(entry.cc_remote, 1);
+    assert_eq!(entry.dsm_remote, 1);
+    assert_eq!(entry.spans, 1, "one completed Entry span");
+    assert_eq!(entry.spins, 0);
+
+    kex.release(0);
+    let snap = kex_obs::snapshot();
+    let exit = snap.section_totals(Section::Exit);
+    // Statement 6: fetch&add on X — pid 0 is sole holder, so CC *local*,
+    // but DSM remote (unowned). Statement 7: store to Q — first touch,
+    // CC remote and DSM remote.
+    assert_eq!(exit.rmws, 1);
+    assert_eq!(exit.stores, 1);
+    assert_eq!(exit.loads, 0);
+    assert_eq!(exit.cc_remote, 1, "X is cached; only the Q store misses");
+    assert_eq!(exit.dsm_remote, 2, "every access is DSM-remote (no homes)");
+    assert_eq!(exit.spans, 1);
+
+    // Everything was inside a span: the untracked bucket stayed empty.
+    assert!(
+        snap.untracked().is_none(),
+        "no ops should fall outside the algorithm spans"
+    );
+    // All ops belong to pid 0.
+    let pid0 = snap.pid(0).expect("pid 0 recorded");
+    assert_eq!(pid0.sections[Section::Entry as usize].ops(), 1);
+    assert_eq!(pid0.sections[Section::Exit as usize].ops(), 2);
+    // The event ring replays the same story in order.
+    let kinds: Vec<&str> = pid0.events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        [
+            "span-open",  // Entry
+            "rmw",        // X.fetch_sub
+            "span-close", // Entry
+            "span-open",  // Exit
+            "rmw",        // X.fetch_add
+            "store",      // Q.store
+            "span-close", // Exit
+        ]
+    );
+}
+
+/// The CC estimator is stateful across acquisitions: the second
+/// uncontended pass finds `X` still cached (pid 0 stayed sole holder)
+/// and costs zero CC-remote references in the entry section.
+fn second_acquisition_hits_warm_cache() {
+    kex_obs::reset();
+    let kex = CcChainKex::new(2, 1);
+    kex.acquire(0);
+    kex.release(0);
+
+    kex_obs::reset(); // counters to zero; holder masks intentionally survive
+    kex.acquire(0);
+    let snap = kex_obs::snapshot();
+    let entry = snap.section_totals(Section::Entry);
+    assert_eq!(entry.rmws, 1);
+    assert_eq!(entry.cc_remote, 0, "X line still held from the first pass");
+    assert_eq!(entry.dsm_remote, 1, "DSM has no cache: remote every time");
+    kex.release(0);
+}
+
+/// `enter()` wraps the critical section in a `Cs` span that drives the
+/// occupancy gauge; the guard closes it before releasing.
+fn guard_drives_occupancy_gauge_and_cs_span() {
+    kex_obs::reset();
+    let kex = CcChainKex::new(2, 1);
+    {
+        let _guard = kex.enter(1);
+        let snap = kex_obs::snapshot();
+        assert_eq!(snap.occupancy.current, 1, "one live holder");
+        assert_eq!(snap.occupancy.max, 1);
+    }
+    let snap = kex_obs::snapshot();
+    assert_eq!(snap.occupancy.current, 0, "guard dropped");
+    assert_eq!(snap.occupancy.max, 1, "high-water mark retained");
+    let pid1 = snap.pid(1).expect("pid 1 recorded");
+    assert_eq!(pid1.sections[Section::Cs as usize].spans, 1);
+    assert_eq!(
+        pid1.hists[Section::Cs as usize].count(),
+        1,
+        "one Cs latency sample"
+    );
+}

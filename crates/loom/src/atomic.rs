@@ -162,6 +162,7 @@ atomic_common!(AtomicBool, AtomicBool, bool);
 atomic_common!(AtomicU8, AtomicU8, u8);
 atomic_common!(AtomicU32, AtomicU32, u32);
 atomic_common!(AtomicU64, AtomicU64, u64);
+atomic_common!(AtomicI64, AtomicI64, i64);
 atomic_common!(AtomicUsize, AtomicUsize, usize);
 atomic_common!(AtomicIsize, AtomicIsize, isize);
 
@@ -191,4 +192,114 @@ atomic_int_ops!(
     [fetch_add, fetch_sub, fetch_and, fetch_or, fetch_xor, fetch_max, fetch_min]
 );
 
+atomic_int_ops!(
+    AtomicI64,
+    i64,
+    [fetch_add, fetch_sub, fetch_and, fetch_or, fetch_xor, fetch_max, fetch_min]
+);
+
 atomic_int_ops!(AtomicBool, bool, [fetch_and, fetch_or, fetch_xor]);
+
+/// Model-checked counterpart of `std::sync::atomic::AtomicPtr`.
+///
+/// Generic, so the `atomic_common!` macro (which names concrete std
+/// types) does not apply; the operations and scheduling discipline are
+/// identical.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new atomic pointer holding `p`.
+    pub const fn new(p: *mut T) -> Self {
+        AtomicPtr {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    /// Consumes the atomic, returning the contained pointer.
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+
+    /// Mutable access without synchronization.
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+
+    /// Loads the pointer (schedule point; read).
+    #[track_caller]
+    pub fn load(&self, _order: Ordering) -> *mut T {
+        rt::schedule("AtomicPtr::load", false, Location::caller());
+        self.inner.load(SeqCst)
+    }
+
+    /// Stores `p` (schedule point; write).
+    #[track_caller]
+    pub fn store(&self, p: *mut T, _order: Ordering) {
+        rt::schedule("AtomicPtr::store", true, Location::caller());
+        self.inner.store(p, SeqCst)
+    }
+
+    /// Swaps in `p`, returning the previous pointer (schedule point;
+    /// write).
+    #[track_caller]
+    pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+        rt::schedule("AtomicPtr::swap", true, Location::caller());
+        self.inner.swap(p, SeqCst)
+    }
+
+    /// Compare-and-exchange (schedule point; write — even a failed CAS
+    /// is an RMW-slot access in the SC model).
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        rt::schedule("AtomicPtr::compare_exchange", true, Location::caller());
+        self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+    }
+
+    /// Weak compare-and-exchange; never fails spuriously in the model.
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Fetch-and-update as a single atomic RMW (schedule point; write).
+    #[track_caller]
+    pub fn fetch_update<F>(
+        &self,
+        _set_order: Ordering,
+        _fetch_order: Ordering,
+        f: F,
+    ) -> Result<*mut T, *mut T>
+    where
+        F: FnMut(*mut T) -> Option<*mut T>,
+    {
+        rt::schedule("AtomicPtr::fetch_update", true, Location::caller());
+        self.inner.fetch_update(SeqCst, SeqCst, f)
+    }
+}
+
+impl<T> From<*mut T> for AtomicPtr<T> {
+    fn from(p: *mut T) -> Self {
+        AtomicPtr::new(p)
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}

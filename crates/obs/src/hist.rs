@@ -1,0 +1,94 @@
+//! Fixed-bucket, allocation-free latency histograms.
+//!
+//! Buckets are powers of two nanoseconds: bucket `i` counts durations in
+//! `[2^i, 2^(i+1))` ns (bucket 0 also absorbs 0 ns). With
+//! [`BUCKETS`] = 40 the top bucket starts at `2^39` ns ≈ 9.2 minutes,
+//! far beyond any section latency worth distinguishing; longer
+//! durations saturate into it. Recording is one `Relaxed` fetch-add.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of power-of-two buckets per histogram.
+pub(crate) const BUCKETS: usize = 40;
+
+/// One histogram: a fixed array of `Relaxed` counters.
+pub(crate) struct Hist {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Hist {
+    pub(crate) const fn new() -> Self {
+        Hist {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Index of the bucket covering `ns`.
+    #[inline]
+    pub(crate) fn bucket_of(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower bound (inclusive) of bucket `i` in nanoseconds.
+    #[inline]
+    pub(crate) fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, ns: u64) {
+        self.counts[Self::bucket_of(ns)].fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn load(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, c) in out.iter_mut().zip(&self.counts) {
+            *slot = c.load(Relaxed);
+        }
+        out
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 0);
+        assert_eq!(Hist::bucket_of(2), 1);
+        assert_eq!(Hist::bucket_of(3), 1);
+        assert_eq!(Hist::bucket_of(4), 2);
+        assert_eq!(Hist::bucket_of(1024), 10);
+        assert_eq!(Hist::bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(Hist::bucket_floor(0), 0);
+        assert_eq!(Hist::bucket_floor(10), 1024);
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let h = Hist::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(1 << 20);
+        let counts = h.load();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[2], 2);
+        assert_eq!(counts[20], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+        h.reset();
+        assert_eq!(h.load().iter().sum::<u64>(), 0);
+    }
+}

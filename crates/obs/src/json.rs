@@ -1,0 +1,232 @@
+//! A minimal JSON value model and writer, so snapshots can be exported
+//! without any external serialization crate (the workspace builds fully
+//! offline).
+//!
+//! Only what the exporters need: construction via [`Json`] variants and
+//! the [`Json::obj`]/[`Json::arr`] helpers, rendering via `Display`
+//! (compact) or [`Json::to_string_pretty`], and [`write_pretty`] for
+//! writing a file. Numbers keep their integer-ness: `u64`/`i64` render
+//! without a decimal point, `f64` renders via Rust's shortest-round-trip
+//! formatting (NaN and infinities degrade to `null`, which JSON
+//! requires).
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; non-finite values render as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let s = v.to_string();
+                    out.push_str(&s);
+                    // `{}` on a whole f64 prints no decimal point; keep
+                    // the value typed as a float for consumers.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    item.render(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    Json::Str(key.clone()).render(out, indent + 1, pretty);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.render(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.render(&mut out, 0, false);
+        f.write_str(&out)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+/// Writes `value` to `path`, pretty-printed.
+pub fn write_pretty(path: &Path, value: &Json) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(value.to_string_pretty().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_pretty() {
+        let v = Json::obj(vec![
+            ("name", "cc-chain".into()),
+            ("n", Json::U64(8)),
+            ("mean", Json::F64(2.5)),
+            ("whole", Json::F64(3.0)),
+            ("ok", Json::Bool(true)),
+            ("bound", Json::Null),
+            ("xs", Json::arr(vec![Json::I64(-1), Json::U64(2)])),
+            ("esc", "a\"b\\c\nd".into()),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"cc-chain","n":8,"mean":2.5,"whole":3.0,"ok":true,"bound":null,"xs":[-1,2],"esc":"a\"b\\c\nd"}"#
+        );
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n  \"name\": \"cc-chain\""));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::arr(vec![]).to_string(), "[]");
+        assert_eq!(Json::obj(vec![]).to_string_pretty(), "{}\n");
+    }
+}

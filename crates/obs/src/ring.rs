@@ -1,0 +1,163 @@
+//! Bounded per-process event rings for post-mortem traces.
+//!
+//! Each tracked process id owns a fixed ring of [`RING_LEN`] packed
+//! 64-bit event words; a monotonically increasing cursor picks the slot,
+//! so the ring always holds the *last* `RING_LEN` events of that
+//! process. Writing is two `Relaxed` atomic operations (cursor
+//! fetch-add, slot store) — no allocation, no locks. When a thread
+//! crashes (or wedges) inside a section, the tail of its ring shows the
+//! last operations and span markers it executed — e.g. a `span-open` of
+//! the critical section with no matching `span-close` is the native
+//! analogue of the simulator's crash-in-CS traces.
+//!
+//! ## Word layout
+//!
+//! | bits    | field                                                   |
+//! |---------|---------------------------------------------------------|
+//! | 0–1     | section (entry / exit / cs / other)                     |
+//! | 2–3     | kind (load / store / rmw / span marker)                 |
+//! | 4       | CC-remote flag (for span markers: 1 = open, 0 = close)  |
+//! | 5       | DSM-remote flag                                         |
+//! | 6–21    | site id (index into the site table; markers store 0)    |
+//! | 22      | valid flag (distinguishes real events from empty slots) |
+//! | 23–63   | sequence number (wraps at 2^41)                         |
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Events retained per process.
+pub(crate) const RING_LEN: usize = 128;
+
+const KIND_SPAN: u64 = 3;
+const SEQ_SHIFT: u32 = 23;
+const VALID: u64 = 1 << 22;
+
+/// A decoded ring event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RawEvent {
+    pub seq: u64,
+    pub section: u8,
+    /// 0 load, 1 store, 2 rmw, 3 span marker.
+    pub kind: u8,
+    pub cc_remote: bool,
+    pub dsm_remote: bool,
+    pub site: u16,
+}
+
+impl RawEvent {
+    /// For span markers the CC flag doubles as the open/close bit.
+    pub fn is_span_open(&self) -> bool {
+        self.kind as u64 == KIND_SPAN && self.cc_remote
+    }
+}
+
+pub(crate) struct Ring {
+    slots: [AtomicU64; RING_LEN],
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    pub(crate) const fn new() -> Self {
+        Ring {
+            slots: [const { AtomicU64::new(0) }; RING_LEN],
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn push_word(&self, payload: u64) {
+        let seq = self.cursor.fetch_add(1, Relaxed);
+        let word = payload | VALID | (seq << SEQ_SHIFT);
+        self.slots[seq as usize % RING_LEN].store(word, Relaxed);
+    }
+
+    /// Records an atomic operation (`kind` 0–2).
+    #[inline]
+    pub(crate) fn push_op(
+        &self,
+        section: u8,
+        kind: u8,
+        cc_remote: bool,
+        dsm_remote: bool,
+        site: u16,
+    ) {
+        let payload = (section as u64 & 0b11)
+            | ((kind as u64 & 0b11) << 2)
+            | ((cc_remote as u64) << 4)
+            | ((dsm_remote as u64) << 5)
+            | ((site as u64) << 6);
+        self.push_word(payload);
+    }
+
+    /// Records a span boundary marker.
+    #[inline]
+    pub(crate) fn push_span(&self, section: u8, open: bool) {
+        let payload = (section as u64 & 0b11) | (KIND_SPAN << 2) | ((open as u64) << 4);
+        self.push_word(payload);
+    }
+
+    /// Decodes the retained events, oldest first.
+    pub(crate) fn load(&self) -> Vec<RawEvent> {
+        let mut events: Vec<RawEvent> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let word = slot.load(Relaxed);
+                if word & VALID == 0 {
+                    return None;
+                }
+                Some(RawEvent {
+                    seq: word >> SEQ_SHIFT,
+                    section: (word & 0b11) as u8,
+                    kind: ((word >> 2) & 0b11) as u8,
+                    cc_remote: word & (1 << 4) != 0,
+                    dsm_remote: word & (1 << 5) != 0,
+                    site: ((word >> 6) & 0xFFFF) as u16,
+                })
+            })
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    pub(crate) fn reset(&self) {
+        self.cursor.store(0, Relaxed);
+        for slot in &self.slots {
+            slot.store(0, Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_last_events_in_order() {
+        let ring = Ring::new();
+        ring.push_span(2, true);
+        for i in 0..(RING_LEN as u16 + 10) {
+            ring.push_op(0, 2, true, false, i);
+        }
+        let events = ring.load();
+        assert_eq!(events.len(), RING_LEN);
+        // The span marker and the 10 oldest ops were overwritten.
+        assert_eq!(events.first().unwrap().seq, 11);
+        assert_eq!(events.last().unwrap().site, RING_LEN as u16 + 9);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        ring.reset();
+        assert!(ring.load().is_empty());
+    }
+
+    #[test]
+    fn span_markers_round_trip() {
+        let ring = Ring::new();
+        ring.push_span(2, true);
+        ring.push_span(2, false);
+        let events = ring.load();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].is_span_open());
+        assert!(!events[1].is_span_open());
+        assert_eq!(events[0].kind, 3);
+        assert_eq!(events[0].section, 2);
+    }
+}

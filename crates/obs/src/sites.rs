@@ -1,0 +1,197 @@
+//! Lock-free per-call-site counters.
+//!
+//! Every instrumented atomic operation carries its `#[track_caller]`
+//! `&'static Location`, interned here into a fixed-capacity,
+//! linear-probing hash table keyed by the location's address (CAS
+//! claims an empty slot; addresses of `'static` locations never move).
+//! Codegen may duplicate a `Location` across codegen units, so the
+//! snapshot layer merges slots by rendered `file:line` — the table only
+//! needs pointer identity to stay lock-free.
+//!
+//! Capacity is fixed ([`SITE_CAP`]); if the table fills, further sites
+//! fold into a shared overflow bucket rather than failing or allocating.
+
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+use crate::counters::OpKind;
+
+/// Maximum number of distinct interned call sites.
+pub(crate) const SITE_CAP: usize = 512;
+
+/// Site id of the shared overflow bucket.
+pub(crate) const SITE_OVERFLOW: u16 = SITE_CAP as u16;
+
+struct SiteSlot {
+    /// `&'static Location` address, or 0 when empty.
+    key: AtomicUsize,
+    ops: [AtomicU64; 3],
+    cc_remote: AtomicU64,
+    dsm_remote: AtomicU64,
+}
+
+impl SiteSlot {
+    const fn new() -> Self {
+        SiteSlot {
+            key: AtomicUsize::new(0),
+            ops: [const { AtomicU64::new(0) }; 3],
+            cc_remote: AtomicU64::new(0),
+            dsm_remote: AtomicU64::new(0),
+        }
+    }
+}
+
+/// `SITE_CAP` probeable slots plus the overflow bucket at index `SITE_CAP`.
+static TABLE: [SiteSlot; SITE_CAP + 1] = [const { SiteSlot::new() }; SITE_CAP + 1];
+
+#[inline]
+fn hash(key: usize) -> usize {
+    // Fibonacci hashing; locations are 8-aligned so multiply first.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> (usize::BITS - 16)
+}
+
+/// Interns `loc`, returning its site id (or the overflow bucket).
+#[inline]
+pub(crate) fn site_id(loc: &'static Location<'static>) -> u16 {
+    let key = loc as *const Location<'static> as usize;
+    let mut idx = hash(key) % SITE_CAP;
+    let mut probes = 0;
+    while probes < SITE_CAP {
+        let cur = TABLE[idx].key.load(Relaxed);
+        if cur == key {
+            return idx as u16;
+        }
+        if cur == 0 {
+            match TABLE[idx].key.compare_exchange(0, key, Relaxed, Relaxed) {
+                Ok(_) => return idx as u16,
+                Err(actual) if actual == key => return idx as u16,
+                // Another site claimed the slot first; re-examine it.
+                Err(_) => continue,
+            }
+        }
+        idx = (idx + 1) % SITE_CAP;
+        probes += 1;
+    }
+    SITE_OVERFLOW
+}
+
+/// Tallies one operation against `site`.
+#[inline]
+pub(crate) fn record(site: u16, kind: OpKind, cc_remote: bool, dsm_remote: bool) {
+    let slot = &TABLE[(site as usize).min(SITE_CAP)];
+    slot.ops[kind as usize].fetch_add(1, Relaxed);
+    if cc_remote {
+        slot.cc_remote.fetch_add(1, Relaxed);
+    }
+    if dsm_remote {
+        slot.dsm_remote.fetch_add(1, Relaxed);
+    }
+}
+
+/// Renders the site id for ring events: `Some(file:line)` or `None` for
+/// the overflow bucket / empty slots.
+pub(crate) fn site_name(site: u16) -> Option<String> {
+    if site as usize >= SITE_CAP {
+        return None;
+    }
+    let key = TABLE[site as usize].key.load(Relaxed);
+    if key == 0 {
+        return None;
+    }
+    // SAFETY: only addresses of `&'static Location` are ever stored.
+    let loc = unsafe { &*(key as *const Location<'static>) };
+    Some(format!("{}:{}", loc.file(), loc.line()))
+}
+
+/// One merged per-location tally.
+#[derive(Debug, Clone)]
+pub(crate) struct SiteCounts {
+    pub location: String,
+    pub loads: u64,
+    pub stores: u64,
+    pub rmws: u64,
+    pub cc_remote: u64,
+    pub dsm_remote: u64,
+}
+
+/// Snapshots the table, merging duplicate locations and dropping
+/// all-zero slots. The overflow bucket (if hit) appears with the
+/// location `"<overflow>"`.
+pub(crate) fn load() -> Vec<SiteCounts> {
+    let mut merged: Vec<SiteCounts> = Vec::new();
+    for (idx, slot) in TABLE.iter().enumerate() {
+        let location = if idx == SITE_CAP {
+            "<overflow>".to_string()
+        } else {
+            match site_name(idx as u16) {
+                Some(name) => name,
+                None => continue,
+            }
+        };
+        let counts = SiteCounts {
+            location,
+            loads: slot.ops[0].load(Relaxed),
+            stores: slot.ops[1].load(Relaxed),
+            rmws: slot.ops[2].load(Relaxed),
+            cc_remote: slot.cc_remote.load(Relaxed),
+            dsm_remote: slot.dsm_remote.load(Relaxed),
+        };
+        if counts.loads + counts.stores + counts.rmws == 0 {
+            continue;
+        }
+        match merged.iter_mut().find(|s| s.location == counts.location) {
+            Some(existing) => {
+                existing.loads += counts.loads;
+                existing.stores += counts.stores;
+                existing.rmws += counts.rmws;
+                existing.cc_remote += counts.cc_remote;
+                existing.dsm_remote += counts.dsm_remote;
+            }
+            None => merged.push(counts),
+        }
+    }
+    merged.sort_by(|a, b| {
+        let (ta, tb) = (a.loads + a.stores + a.rmws, b.loads + b.stores + b.rmws);
+        tb.cmp(&ta).then_with(|| a.location.cmp(&b.location))
+    });
+    merged
+}
+
+/// Zeroes every tally; interned locations stay registered.
+pub(crate) fn reset() {
+    for slot in &TABLE {
+        for op in &slot.ops {
+            op.store(0, Relaxed);
+        }
+        slot.cc_remote.store(0, Relaxed);
+        slot.dsm_remote.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_counts_merge() {
+        let _g = crate::testlock::hold();
+        reset();
+        let loc = Location::caller();
+        let id1 = site_id(loc);
+        let id2 = site_id(loc);
+        assert_eq!(id1, id2);
+        record(id1, OpKind::Rmw, true, false);
+        record(id1, OpKind::Load, false, true);
+        let sites = load();
+        let mine = sites
+            .iter()
+            .find(|s| s.location.contains("sites.rs"))
+            .expect("interned site visible in snapshot");
+        assert_eq!(mine.rmws, 1);
+        assert_eq!(mine.loads, 1);
+        assert_eq!(mine.cc_remote, 1);
+        assert_eq!(mine.dsm_remote, 1);
+        reset();
+        assert!(load().iter().all(|s| !s.location.contains("sites.rs")));
+    }
+}

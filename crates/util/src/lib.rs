@@ -9,10 +9,12 @@
 //! * [`Backoff`] — bounded exponential spin/yield backoff for busy-wait
 //!   loops, routed through the [`sync::hint`] shim so the same loops are
 //!   explorable under the loom model checker.
-//! * [`sync`] — the loom-swappable synchronization facade: non-poisoning
-//!   [`sync::Mutex`] / [`sync::Condvar`], [`sync::atomic`],
-//!   [`sync::hint`], and [`sync::thread`]; `std`-backed normally,
-//!   `kex-loom`-backed under `RUSTFLAGS="--cfg loom"`.
+//! * [`sync`] — the backend-swappable synchronization facade:
+//!   non-poisoning [`sync::Mutex`] / [`sync::Condvar`],
+//!   [`sync::atomic`], [`sync::hint`], and [`sync::thread`];
+//!   `std`-backed normally, `kex-loom`-backed under
+//!   `RUSTFLAGS="--cfg loom"`, `kex-obs`-instrumented under
+//!   `--features obs` (loom wins when both apply).
 //! * [`rng`] — a small deterministic PRNG ([`rng::SmallRng`]) for
 //!   reproducible randomized schedules and tests.
 

@@ -1,12 +1,23 @@
-//! Loom-swappable synchronization facade.
+//! Backend-swappable synchronization facade.
 //!
 //! Everything the native algorithms synchronize through lives behind
 //! this module: [`Mutex`]/[`Condvar`], the [`atomic`] types, the
-//! [`hint::spin_loop`] shim, and [`thread`]. A normal build re-exports
-//! `std`-backed implementations; building with `RUSTFLAGS="--cfg loom"`
-//! swaps in the `kex-loom` model-checked replacements so the *same*
-//! algorithm code runs under exhaustive schedule exploration
-//! (`crates/core/tests/loom_models.rs`).
+//! [`hint::spin_loop`] shim, and [`thread`]. Three backends exist, with
+//! a strict precedence:
+//!
+//! 1. **loom** — building with `RUSTFLAGS="--cfg loom"` swaps in the
+//!    `kex-loom` model-checked replacements so the *same* algorithm
+//!    code runs under exhaustive schedule exploration
+//!    (`crates/core/tests/loom_models.rs`). This backend always wins.
+//! 2. **obs** — building with `--features obs` (and not loom) swaps
+//!    [`atomic`] and [`hint`] to the `kex-obs` instrumented
+//!    implementations: every operation is counted per process and
+//!    section, with estimated remote references under the CC and DSM
+//!    cost models (see `docs/OBSERVABILITY.md`). `Mutex`/`Condvar`/
+//!    [`thread`] stay std-backed.
+//! 3. **std** — the default. The re-exports *are* the `std` types
+//!    (same `TypeId`, same layout, zero added fields or operations);
+//!    `crates/util/tests/zero_cost.rs` pins this down.
 //!
 //! Rules for code in `kex-core`'s native layer:
 //!
@@ -14,7 +25,11 @@
 //!   `std::sync::atomic`;
 //! * busy-wait loops call [`hint::spin_loop`] (usually via
 //!   [`crate::Backoff`]), never `std::hint::spin_loop` — under loom the
-//!   shim is the yield point that makes spin loops explorable;
+//!   shim is the yield point that makes spin loops explorable, and
+//!   under obs it is where spin iterations are counted;
+//! * per-process variables (spin flags, queue nodes, handshake words)
+//!   are declared with [`assign_home`] at construction so the DSM cost
+//!   model knows their owner; the call is a no-op except under obs;
 //! * there is no `Condvar::wait_timeout`; [`Condvar::wait_for`] exists
 //!   but under loom it never times out, so algorithms must not rely on
 //!   timeouts for *progress* (a good constraint: the paper's protocols
@@ -31,27 +46,55 @@ pub use kex_loom::sync::{Condvar, Mutex, MutexGuard};
 #[cfg(not(loom))]
 pub use std_impl::{Condvar, Mutex, MutexGuard};
 
-/// Atomic types, `std::sync::atomic` or model-checked under `cfg(loom)`.
+/// Atomic types: `std::sync::atomic`, model-checked under `cfg(loom)`,
+/// or instrumented under `--features obs`.
 pub mod atomic {
     #[cfg(loom)]
     pub use kex_loom::atomic::{
-        AtomicBool, AtomicIsize, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+        AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
     };
-    #[cfg(not(loom))]
+    #[cfg(all(not(loom), feature = "obs"))]
+    pub use kex_obs::atomic::{
+        AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
+    };
+    #[cfg(all(not(loom), not(feature = "obs")))]
     pub use std::sync::atomic::{
-        AtomicBool, AtomicIsize, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+        AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
     };
 }
 
 /// Spin-hint shim; under `cfg(loom)` a spinning thread is demoted until
-/// another thread writes, which is what makes busy-wait loops finite in
-/// the model.
+/// another thread writes (which makes busy-wait loops finite in the
+/// model), and under `--features obs` each call is counted against the
+/// current `(process, section)` span.
 pub mod hint {
     #[cfg(loom)]
     pub use kex_loom::hint::spin_loop;
-    #[cfg(not(loom))]
+    #[cfg(all(not(loom), feature = "obs"))]
+    pub use kex_obs::hint::spin_loop;
+    #[cfg(all(not(loom), not(feature = "obs")))]
     pub use std::hint::spin_loop;
 }
+
+/// Declares `var` (a facade atomic) to be *local to* process `home`
+/// under the DSM cost model.
+///
+/// The paper's DSM accounting assigns every shared variable to exactly
+/// one processor's memory partition; constructors of the native
+/// algorithms call this on each per-process slot. Only the obs backend
+/// does anything with the declaration — under std and loom it
+/// compiles to nothing.
+#[cfg(all(not(loom), feature = "obs"))]
+pub use kex_obs::atomic::assign_home;
+
+/// No-op DSM home declaration (std and loom backends); see the obs
+/// backend's documentation for what it declares when active.
+#[cfg(any(loom, not(feature = "obs")))]
+#[inline(always)]
+pub fn assign_home<T: ?Sized>(_var: &T, _home: usize) {}
 
 /// Thread spawn/join/yield, `std::thread` or model-checked.
 pub mod thread {

@@ -25,34 +25,11 @@
 //! identical operation streams and demand identical responses; the
 //! `waitfree` criterion bench shows the asymptotic difference.
 
-use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
-
-use parking_lot_like::Mutex;
+use kex_util::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::Mutex;
 
 use crate::consensus::PtrConsensus;
 use crate::seq::Sequential;
-
-/// Minimal internal mutex shim so this crate keeps its dependency set
-/// to crossbeam (std `Mutex` poisoning is noise here; we never panic
-/// while holding it, and even if we did, losing a cache is harmless).
-mod parking_lot_like {
-    /// `std::sync::Mutex` with poison-blind locking.
-    #[derive(Debug, Default)]
-    pub struct Mutex<T>(std::sync::Mutex<T>);
-
-    impl<T> Mutex<T> {
-        pub fn new(value: T) -> Self {
-            Mutex(std::sync::Mutex::new(value))
-        }
-
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            match self.0.lock() {
-                Ok(g) => g,
-                Err(poison) => poison.into_inner(),
-            }
-        }
-    }
-}
 
 struct Node<S: Sequential> {
     op: Option<S::Op>,
@@ -90,8 +67,8 @@ struct Cache<S: Sequential> {
 /// assert_eq!(q.apply(1, QueueOp::Dequeue), Some("job"));
 /// ```
 pub struct CachedUniversal<S: Sequential + Clone> {
-    announce: Vec<std::sync::atomic::AtomicPtr<Node<S>>>,
-    head: Vec<std::sync::atomic::AtomicPtr<Node<S>>>,
+    announce: Vec<AtomicPtr<Node<S>>>,
+    head: Vec<AtomicPtr<Node<S>>>,
     caches: Vec<Mutex<Option<Cache<S>>>>,
     tail: *mut Node<S>,
     k: usize,
@@ -125,7 +102,6 @@ impl<S: Sequential + Clone> CachedUniversal<S> {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "need at least one process");
-        use std::sync::atomic::AtomicPtr;
         let tail = Node::new(None);
         unsafe { (*tail).seq.store(1, SeqCst) };
         CachedUniversal {

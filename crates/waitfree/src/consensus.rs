@@ -6,7 +6,7 @@
 //! returns the stored winner. This module wraps that idiom with a safe
 //! API and documents the protocol obligations.
 
-use std::sync::atomic::{AtomicPtr, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicPtr, Ordering::SeqCst};
 
 /// A single-shot, wait-free, `n`-process consensus object deciding a
 /// non-null raw pointer.

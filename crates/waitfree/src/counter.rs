@@ -12,7 +12,7 @@
 //!   comparison; still wait-free (hardware RMW) but every `add` contends
 //!   on one cache line.
 
-use std::sync::atomic::{AtomicI64, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicI64, Ordering::SeqCst};
 
 use kex_util::CachePadded;
 

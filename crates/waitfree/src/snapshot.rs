@@ -20,8 +20,7 @@
 //! Like everything in this crate, the object serves processes named
 //! `0..k` — the identities handed out by the k-assignment wrapper.
 
-use std::sync::atomic::AtomicPtr;
-use std::sync::atomic::Ordering::SeqCst;
+use kex_util::sync::atomic::{AtomicPtr, Ordering::SeqCst};
 
 use kex_util::sync::Mutex;
 

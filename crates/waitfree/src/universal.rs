@@ -24,7 +24,7 @@
 //!   operation (the log is the object's history and must stay readable
 //!   by laggards).
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
 
 use crate::consensus::PtrConsensus;
 use crate::seq::Sequential;
