@@ -13,11 +13,17 @@
 //!   injection, survivors' progress at `f = 0 .. k` crashes.
 //! * `cargo bench -p kex-bench` — E9: native wall-clock scalability on
 //!   the host machine (via the in-tree [`microbench`] runner).
+//! * `cargo run --release -p kex-bench --bin contend` — E12:
+//!   multi-threaded contention (throughput, latency percentiles,
+//!   fairness) per native algorithm; build with `--features seqcst` and
+//!   pass that run back via `--baseline` to record the memory-ordering
+//!   relaxation delta (the committed `BENCH_contend.json`).
 //!
 //! This library crate holds the shared measurement machinery.
 
 #![warn(missing_docs)]
 
+pub mod contend;
 pub mod harness;
 pub mod microbench;
 pub mod report;

@@ -154,7 +154,7 @@ mod tests {
                             );
                         }
                         for _ in 0..10 {
-                            std::hint::spin_loop();
+                            kex_util::sync::hint::spin_loop();
                         }
                         {
                             let mut h = held.lock().unwrap();

@@ -1,21 +1,33 @@
 //! Native Figure-4 fast path (Theorems 3/7) and the gracefully
 //! degrading nested variant (Theorems 4/8).
 
-use kex_util::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicIsize, AtomicUsize};
 
 use kex_util::CachePadded;
 
 use super::fig2::CcChainKex;
 use super::fig6::DsmChainKex;
+use super::ordering as ord;
 use super::raw::RawKex;
 use super::tree::{NativeBlockFactory, TreeKex};
 
 /// Range-safe `fetch_and_increment(X, -1)` per the paper's footnote 2:
 /// decrements only if positive; returns whether a slot was obtained.
+/// The slot accounting is same-location arithmetic on `X` alone, so the
+/// AcqRel RMW chain suffices: each successful grab takes the hand-off
+/// edge from every `fetch_add` release that precedes it in `X`'s
+/// modification order (and the admitted process still passes through a
+/// `(2k, k)` block, which provides its own synchronization).
 #[inline]
 fn try_grab(x: &AtomicIsize) -> bool {
-    x.fetch_update(SeqCst, SeqCst, |v| if v > 0 { Some(v - 1) } else { None })
-        .is_ok()
+    x.fetch_update(ord::ACQ_REL, ord::ACQUIRE, |v| {
+        if v > 0 {
+            Some(v - 1)
+        } else {
+            None
+        }
+    })
+    .is_ok()
 }
 
 /// Figure 4 over a tree slow path — Theorems 3 and 7.
@@ -127,11 +139,12 @@ impl RawKex for FastPathKex {
                 block,
                 slow_flag,
             } => {
-                // Statements 1–5 of Figure 4.
+                // Statements 1–5 of Figure 4. `slow_flag[p]` is
+                // owner-private (atomic only for `Sync`), so Relaxed.
                 if try_grab(x) {
-                    slow_flag[p].store(0, SeqCst);
+                    slow_flag[p].store(0, ord::RELAXED);
                 } else {
-                    slow_flag[p].store(1, SeqCst);
+                    slow_flag[p].store(1, ord::RELAXED);
                     slow.acquire(p);
                 }
                 block.acquire(p);
@@ -151,10 +164,12 @@ impl RawKex for FastPathKex {
             } => {
                 // Statements 6–9 of Figure 4.
                 block.release(p);
-                if slow_flag[p].load(SeqCst) != 0 {
+                if slow_flag[p].load(ord::RELAXED) != 0 {
                     slow.release(p);
                 } else {
-                    x.fetch_add(1, SeqCst);
+                    // Release half pairs with the acquire in `try_grab`,
+                    // handing our critical section to the next grabber.
+                    x.fetch_add(1, ord::ACQ_REL);
                 }
             }
         }
@@ -262,7 +277,8 @@ impl RawKex for GracefulKex {
         while d < self.levels.len() && !try_grab(&self.levels[d].x) {
             d += 1;
         }
-        self.depth[p].store(d, SeqCst);
+        // Owner-private descent cursor (atomic only for `Sync`).
+        self.depth[p].store(d, ord::RELAXED);
         if d == self.levels.len() {
             self.base.acquire(p);
         }
@@ -278,7 +294,7 @@ impl RawKex for GracefulKex {
 
     fn release(&self, p: usize) {
         let _obs = crate::obs::span(crate::obs::Section::Exit, p);
-        let d = self.depth[p].load(SeqCst);
+        let d = self.depth[p].load(ord::RELAXED);
         // Mirror image: "exit(i) = block_i ; [exit(i+1) | X_i += 1]".
         if !self.levels.is_empty() {
             let top = d.min(self.levels.len() - 1);
@@ -289,7 +305,7 @@ impl RawKex for GracefulKex {
         if d == self.levels.len() {
             self.base.release(p);
         } else {
-            self.levels[d].x.fetch_add(1, SeqCst);
+            self.levels[d].x.fetch_add(1, ord::ACQ_REL);
         }
     }
 }

@@ -9,12 +9,13 @@
 //! reintroduces a single serialization point and a single point of
 //! failure. Benchmarks use it as the Table-1 \[9\]/\[10\] stand-in.
 
-use kex_util::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use kex_util::sync::atomic::AtomicBool;
 use std::collections::VecDeque;
 
 use kex_util::sync::Mutex;
 use kex_util::{Backoff, CachePadded};
 
+use super::ordering as ord;
 use super::raw::RawKex;
 
 /// Figure-1 queue-based `(N, k)`-exclusion with a mutex standing in for
@@ -83,7 +84,9 @@ impl RawKex for QueueKex {
             st.x -= 1;
             if old <= 0 {
                 st.queue.push_back(p);
-                self.waiting[p].store(true, SeqCst);
+                // Ordered against the dequeuer's clear by the mutex
+                // (both writes happen under `inner`), so Relaxed.
+                self.waiting[p].store(true, ord::RELAXED);
                 true
             } else {
                 false
@@ -92,7 +95,9 @@ impl RawKex for QueueKex {
         // Statement 2: while Element(p, Q) do od.
         if must_wait {
             let backoff = Backoff::new();
-            while self.waiting[p].load(SeqCst) {
+            // Pairs with the dequeuer's release store below: the wake
+            // carries the releaser's critical-section writes.
+            while self.waiting[p].load(ord::ACQUIRE) {
                 backoff.snooze();
             }
         }
@@ -103,7 +108,7 @@ impl RawKex for QueueKex {
         // Statement 3 (atomic): Dequeue(Q); f&i(X, 1).
         let mut st = self.inner.lock();
         if let Some(q) = st.queue.pop_front() {
-            self.waiting[q].store(false, SeqCst);
+            self.waiting[q].store(false, ord::RELEASE);
         }
         st.x += 1;
     }

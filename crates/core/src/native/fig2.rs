@@ -7,10 +7,11 @@
 //! and `Q` live on their own cache lines so spinning on `Q` does not
 //! false-share with the `X` traffic.
 
-use kex_util::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicIsize, AtomicUsize};
 
 use kex_util::{Backoff, CachePadded};
 
+use super::ordering as ord;
 use super::raw::RawKex;
 
 /// One Figure-2 stage: admits `j` of the at-most-`j+1` processes its
@@ -36,15 +37,19 @@ impl CcStage {
 
     /// Statements 2–5 of Figure 2.
     pub(crate) fn acquire(&self, p: usize) {
-        if self.x.fetch_sub(1, SeqCst) <= 0 {
+        if self.x.fetch_sub(1, ord::SEQ_CST) <= 0 {
             // No slot: advertise ourselves as the waiter...
-            self.q.store(p, SeqCst);
+            self.q.store(p, ord::SEQ_CST);
             // ...re-check (a release may have raced us)...
-            if self.x.load(SeqCst) < 0 {
+            if self.x.load(ord::SEQ_CST) < 0 {
                 // ...and spin until *anyone* writes Q (a releaser at
-                // statement 7 or a newer waiter at statement 3).
+                // statement 7 or a newer waiter at statement 3). Both
+                // wake stores are SeqCst (hence also releases); the
+                // acquire pairing hands the waker's history — and,
+                // through the X RMW chain, every earlier releaser's
+                // critical section — to the woken process.
                 let backoff = Backoff::new();
-                while self.q.load(SeqCst) == p {
+                while self.q.load(ord::ACQUIRE) == p {
                     backoff.snooze();
                 }
             }
@@ -53,10 +58,10 @@ impl CcStage {
 
     /// Statements 6–7 of Figure 2.
     pub(crate) fn release(&self, p: usize) {
-        self.x.fetch_add(1, SeqCst);
+        self.x.fetch_add(1, ord::SEQ_CST);
         // Writing our own id both differs from any waiter's id and marks
         // the stage released.
-        self.q.store(p, SeqCst);
+        self.q.store(p, ord::SEQ_CST);
     }
 }
 

@@ -12,10 +12,11 @@
 //! See [`crate::sim::fig6`] for the statement-exact rendition and the
 //! exhaustive model-checking coverage.
 
-use kex_util::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize};
 
 use kex_util::{Backoff, CachePadded};
 
+use super::ordering as ord;
 use super::raw::RawKex;
 
 /// Per-process slice of one stage: `k+2` spin flags and handshake
@@ -89,57 +90,62 @@ impl DsmStage {
 
     /// Statements 2–15 of Figure 6.
     pub(crate) fn acquire(&self, p: usize) {
-        if self.x.fetch_sub(1, SeqCst) <= 0 {
+        if self.x.fetch_sub(1, ord::SEQ_CST) <= 0 {
             let mine = &*self.slots[p];
             // Statements 3–5: find a spin location with a zero handshake
-            // count, starting just past the last one used.
-            let mut next = (mine.last.load(SeqCst) + 1) % self.locs;
-            while mine.r[next].load(SeqCst) != 0 {
+            // count, starting just past the last one used. `last` is
+            // owner-private (atomic only for `Sync`), so Relaxed.
+            let mut next = (mine.last.load(ord::RELAXED) + 1) % self.locs;
+            while mine.r[next].load(ord::SEQ_CST) != 0 {
                 next = (next + 1) % self.locs;
             }
             // Statement 6: initialize it.
-            mine.p[next].store(false, SeqCst);
+            mine.p[next].store(false, ord::SEQ_CST);
             // Statement 7: read the current spin record.
-            let u = self.q.load(SeqCst);
+            let u = self.q.load(ord::SEQ_CST);
             let (upid, uloc) = self.dec(u);
             // Statement 8: announce we may write P[u].
-            self.slots[upid].r[uloc].fetch_add(1, SeqCst);
+            self.slots[upid].r[uloc].fetch_add(1, ord::SEQ_CST);
             // Statements 9–10: release the incumbent if Q is unchanged.
-            if self.q.load(SeqCst) == u {
-                self.slots[upid].p[uloc].store(true, SeqCst);
+            if self.q.load(ord::SEQ_CST) == u {
+                self.slots[upid].p[uloc].store(true, ord::SEQ_CST);
             }
             // Statement 11: install our location if the incumbent is
             // still the same (detects racing releasers, cf. Lemma 2).
             if self
                 .q
-                .compare_exchange(u, self.enc(p, next), SeqCst, SeqCst)
+                .compare_exchange(u, self.enc(p, next), ord::SEQ_CST, ord::SEQ_CST)
                 .is_ok()
             {
-                // Statement 12.
-                mine.last.store(next, SeqCst);
-                // Statements 13–14: wait on our own location.
-                if self.x.load(SeqCst) < 0 {
+                // Statement 12 (owner-private cursor, as above).
+                mine.last.store(next, ord::RELAXED);
+                // Statements 13–14: wait on our own location. The wake
+                // store (statement 10/19) is SeqCst, hence also a
+                // release; acquire suffices to receive the waker's —
+                // and, via the X/R RMW chains, every prior releaser's —
+                // critical-section writes.
+                if self.x.load(ord::SEQ_CST) < 0 {
                     let backoff = Backoff::new();
-                    while !mine.p[next].load(SeqCst) {
+                    while !mine.p[next].load(ord::ACQUIRE) {
                         backoff.snooze();
                     }
                 }
             }
             // Statement 15: done with u's location.
-            self.slots[upid].r[uloc].fetch_add(-1, SeqCst);
+            self.slots[upid].r[uloc].fetch_add(-1, ord::SEQ_CST);
         }
     }
 
     /// Statements 16–21 of Figure 6.
     pub(crate) fn release(&self, _p: usize) {
-        self.x.fetch_add(1, SeqCst);
-        let u = self.q.load(SeqCst);
+        self.x.fetch_add(1, ord::SEQ_CST);
+        let u = self.q.load(ord::SEQ_CST);
         let (upid, uloc) = self.dec(u);
-        self.slots[upid].r[uloc].fetch_add(1, SeqCst);
-        if self.q.load(SeqCst) == u {
-            self.slots[upid].p[uloc].store(true, SeqCst);
+        self.slots[upid].r[uloc].fetch_add(1, ord::SEQ_CST);
+        if self.q.load(ord::SEQ_CST) == u {
+            self.slots[upid].p[uloc].store(true, ord::SEQ_CST);
         }
-        self.slots[upid].r[uloc].fetch_add(-1, SeqCst);
+        self.slots[upid].r[uloc].fetch_add(-1, ord::SEQ_CST);
     }
 }
 

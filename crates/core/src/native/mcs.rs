@@ -10,10 +10,11 @@
 //! dies wedges everyone behind it (demonstrated exhaustively on the
 //! simulator version, [`crate::sim::mcs`]).
 
-use kex_util::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicBool, AtomicUsize};
 
 use kex_util::{Backoff, CachePadded};
 
+use super::ordering as ord;
 use super::raw::RawKex;
 
 /// Sentinel for "no process".
@@ -74,13 +75,22 @@ impl RawKex for McsLock {
         assert!(p < self.nodes.len(), "pid {p} out of range");
         let _obs = crate::obs::span(crate::obs::Section::Entry, p);
         let me = &self.nodes[p];
-        me.next.store(NIL, SeqCst);
-        let pred = self.tail.swap(p, SeqCst);
+        // Our node is unlinked until the tail swap publishes it; the
+        // swap's release half orders both initializing stores below it.
+        me.next.store(NIL, ord::RELAXED);
+        // Enqueue linearization point: the AcqRel RMW chain on `tail`
+        // hands each enqueuer its predecessor's node initialization and,
+        // transitively, the whole queue history.
+        let pred = self.tail.swap(p, ord::ACQ_REL);
         if pred != NIL {
-            me.locked.store(true, SeqCst);
-            self.nodes[pred].next.store(p, SeqCst);
+            me.locked.store(true, ord::RELAXED);
+            // Publishes our initialized node to the predecessor; pairs
+            // with the acquire `next` loads in `release`.
+            self.nodes[pred].next.store(p, ord::RELEASE);
             let backoff = Backoff::new();
-            while me.locked.load(SeqCst) {
+            // Pairs with the predecessor's release `locked` store: the
+            // hand-off carries its critical-section writes.
+            while me.locked.load(ord::ACQUIRE) {
                 backoff.snooze();
             }
         }
@@ -89,19 +99,27 @@ impl RawKex for McsLock {
     fn release(&self, p: usize) {
         let _obs = crate::obs::span(crate::obs::Section::Exit, p);
         let me = &self.nodes[p];
-        if me.next.load(SeqCst) == NIL {
-            // No visible successor: try to swing the tail back.
-            if self.tail.compare_exchange(p, NIL, SeqCst, SeqCst).is_ok() {
+        if me.next.load(ord::ACQUIRE) == NIL {
+            // No visible successor: try to swing the tail back. Release
+            // on success so the next enqueuer's AcqRel swap (which reads
+            // NIL from this CAS) inherits our critical section.
+            if self
+                .tail
+                .compare_exchange(p, NIL, ord::ACQ_REL, ord::ACQUIRE)
+                .is_ok()
+            {
                 return;
             }
-            // A successor is mid-announcement: wait for its link.
+            // A successor is mid-announcement: wait for its link (pairs
+            // with the successor's release `next` store).
             let backoff = Backoff::new();
-            while me.next.load(SeqCst) == NIL {
+            while me.next.load(ord::ACQUIRE) == NIL {
                 backoff.snooze();
             }
         }
-        let succ = me.next.load(SeqCst);
-        self.nodes[succ].locked.store(false, SeqCst);
+        let succ = me.next.load(ord::ACQUIRE);
+        // Hand-off: pairs with the successor's acquire spin on `locked`.
+        self.nodes[succ].locked.store(false, ord::RELEASE);
     }
 }
 

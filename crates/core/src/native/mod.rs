@@ -17,9 +17,13 @@
 //! | [`KAssignment`] | k-assignment — Theorems 9/10 |
 //! | [`Resilient`]   | the §1 resilient-object methodology |
 //!
-//! All algorithms use `SeqCst` atomics (the paper's proofs assume
-//! sequential consistency; see `docs/MEMORY_ORDERING.md` for the
-//! site-by-site audit), imported through the loom-swappable facade in
+//! All algorithms name their memory orderings through the audited
+//! constants in the private `ordering` module: acquire/release/relaxed
+//! where a site-local pairing argument proves them sufficient, `SeqCst`
+//! where the paper's cross-variable reasoning genuinely needs the
+//! single total order (see `docs/MEMORY_ORDERING.md` for the
+//! site-by-site audit; `--features seqcst` collapses every site back to
+//! `SeqCst`). Atomics are imported through the loom-swappable facade in
 //! [`kex_util::sync`] — never `std::sync::atomic` directly. Their
 //! interleaving-level correctness is established three ways: exhaustively
 //! on the statement-exact simulator versions in [`crate::sim`],
@@ -33,6 +37,7 @@ mod fig1;
 mod fig2;
 mod fig6;
 mod mcs;
+mod ordering;
 mod raw;
 mod registry;
 mod renaming;

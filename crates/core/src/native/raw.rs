@@ -2,11 +2,13 @@
 //!
 //! Native implementations run over the `kex_util::sync::atomic` facade
 //! (std atomics normally, loom model-checked atomics under `cfg(loom)`)
-//! with `SeqCst` ordering throughout: the paper's proofs assume
-//! sequentially consistent shared memory, and we keep that assumption
-//! explicit rather than hand-optimizing orderings (the simulator
+//! with the audited orderings of the private `ordering` module:
+//! acquire/release/relaxed where a site-local pairing argument proves
+//! them sufficient, `SeqCst` where the paper's sequentially consistent
+//! reasoning genuinely spans variables. `--features seqcst` collapses
+//! every site back to `SeqCst` for A/B benchmarking (the simulator
 //! versions in [`crate::sim`] are the reference semantics; see DESIGN.md
-//! and `docs/MEMORY_ORDERING.md`).
+//! and `docs/MEMORY_ORDERING.md` for the site-by-site audit).
 //!
 //! Every algorithm is parameterized by a fixed process universe `0..N`:
 //! callers hand each thread a distinct process id (see

@@ -7,9 +7,11 @@
 //! can be re-acquired forever (the *long-lived* property the paper
 //! contributes over prior one-shot renaming).
 
-use kex_util::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use kex_util::sync::atomic::AtomicBool;
 
 use kex_util::CachePadded;
+
+use super::ordering as ord;
 
 /// The Figure-7 name allocator: `k-1` test-and-set bits for a name space
 /// of exactly `k` (name `k-1` needs no bit; at most one process can be
@@ -48,8 +50,14 @@ impl TasRenaming {
     /// wait-free with at most `k-1` shared accesses.
     pub fn acquire_name(&self) -> usize {
         // Statement 2: test-and-set each bit in order until one is clear.
+        // The §4 pigeonhole argument only reasons about each bit's own
+        // RMW history (per-location atomicity), so the AcqRel chain on
+        // each bit suffices; the acquire half pairs with the release
+        // clear below to hand over any name-guarded data. (Name k-1 has
+        // no bit; its hand-off edge comes from the enclosing
+        // k-exclusion's RMW chains.)
         for (name, bit) in self.bits.iter().enumerate() {
-            if !bit.swap(true, SeqCst) {
+            if !bit.swap(true, ord::ACQ_REL) {
                 return name;
             }
         }
@@ -65,9 +73,10 @@ impl TasRenaming {
     /// the allocator (as would double-releasing a lock).
     pub fn release_name(&self, name: usize) {
         assert!(name < self.k, "name {name} out of range 0..{}", self.k);
-        // Statement 3: clear the bit (name k-1 has none).
+        // Statement 3: clear the bit (name k-1 has none). Release pairs
+        // with the acquire half of the swap above.
         if name < self.k - 1 {
-            self.bits[name].store(false, SeqCst);
+            self.bits[name].store(false, ord::RELEASE);
         }
     }
 }
@@ -113,7 +122,7 @@ mod tests {
                             let mut h = held.lock().unwrap();
                             assert!(h.insert(name), "duplicate live name {name}");
                         }
-                        std::hint::spin_loop();
+                        kex_util::sync::hint::spin_loop();
                         {
                             let mut h = held.lock().unwrap();
                             h.remove(&name);

@@ -126,7 +126,7 @@ mod tests {
             let prev = self.cells[name].fetch_add(1, SeqCst);
             assert_eq!(prev, 0, "name {name} used by two operations at once");
             for _ in 0..20 {
-                std::hint::spin_loop();
+                kex_util::sync::hint::spin_loop();
             }
             self.cells[name].fetch_sub(1, SeqCst);
         }
@@ -163,7 +163,7 @@ mod tests {
                         crashed.fetch_add(1, SeqCst);
                         // "Crash": hold the slot until everyone else is done.
                         while done.load(SeqCst) < 4 {
-                            std::thread::yield_now();
+                            kex_util::sync::thread::yield_now();
                         }
                     });
                 });
@@ -172,7 +172,7 @@ mod tests {
                 let (r, crashed, done) = (&r, &crashed, &done);
                 s.spawn(move || {
                     while crashed.load(SeqCst) < 2 {
-                        std::thread::yield_now();
+                        kex_util::sync::thread::yield_now();
                     }
                     for _ in 0..100 {
                         r.with(p, |obj, name| obj.exercise(name));

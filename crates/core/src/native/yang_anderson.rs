@@ -7,10 +7,11 @@
 //! instruction), for the k = 1 wall-clock comparison against
 //! [`crate::native::McsLock`] and the paper's `(N, 1)` instances.
 
-use kex_util::sync::atomic::{AtomicIsize, AtomicU8, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicIsize, AtomicU8};
 
 use kex_util::{Backoff, CachePadded};
 
+use super::ordering as ord;
 use super::raw::RawKex;
 
 const NIL: isize = -1;
@@ -75,23 +76,28 @@ impl YangAndersonLock {
     }
 
     fn round(&self, level: usize, p: usize) {
+        // Every non-spin site in this Dekker-style handshake stays
+        // SeqCst: the arbitration argument runs through the single total
+        // order across C/T/P (three variables, read/write only — no RMW
+        // to anchor a pairwise argument). Only the spin *loads* relax to
+        // acquire; their wake stores are SeqCst, hence also releases.
         let inst = &self.levels[level][p >> (level + 1)];
         let side = (p >> level) & 1;
-        inst.c[side].store(p as isize, SeqCst);
-        inst.t.store(p as isize, SeqCst);
-        inst.p[p].store(0, SeqCst);
-        let rival = inst.c[1 - side].load(SeqCst);
-        if rival != NIL && inst.t.load(SeqCst) == p as isize {
-            if inst.p[rival as usize].load(SeqCst) == 0 {
-                inst.p[rival as usize].store(1, SeqCst);
+        inst.c[side].store(p as isize, ord::SEQ_CST);
+        inst.t.store(p as isize, ord::SEQ_CST);
+        inst.p[p].store(0, ord::SEQ_CST);
+        let rival = inst.c[1 - side].load(ord::SEQ_CST);
+        if rival != NIL && inst.t.load(ord::SEQ_CST) == p as isize {
+            if inst.p[rival as usize].load(ord::SEQ_CST) == 0 {
+                inst.p[rival as usize].store(1, ord::SEQ_CST);
             }
             let backoff = Backoff::new();
-            while inst.p[p].load(SeqCst) == 0 {
+            while inst.p[p].load(ord::ACQUIRE) == 0 {
                 backoff.snooze();
             }
-            if inst.t.load(SeqCst) == p as isize {
+            if inst.t.load(ord::SEQ_CST) == p as isize {
                 let backoff = Backoff::new();
-                while inst.p[p].load(SeqCst) <= 1 {
+                while inst.p[p].load(ord::ACQUIRE) <= 1 {
                     backoff.snooze();
                 }
             }
@@ -101,10 +107,10 @@ impl YangAndersonLock {
     fn unround(&self, level: usize, p: usize) {
         let inst = &self.levels[level][p >> (level + 1)];
         let side = (p >> level) & 1;
-        inst.c[side].store(NIL, SeqCst);
-        let rival = inst.t.load(SeqCst);
+        inst.c[side].store(NIL, ord::SEQ_CST);
+        let rival = inst.t.load(ord::SEQ_CST);
         if rival != p as isize && rival != NIL {
-            inst.p[rival as usize].store(2, SeqCst);
+            inst.p[rival as usize].store(2, ord::SEQ_CST);
         }
     }
 }

@@ -502,6 +502,135 @@ fn obs_spans_do_not_perturb_schedules() {
     );
 }
 
+// --- relaxed-ordering sites: multi-cycle models ---------------------------
+//
+// `native::ordering` weakens selected hot-path sites from SeqCst to
+// acquire/release/relaxed (see `docs/MEMORY_ORDERING.md`). The vendored
+// checker explores sequentially-consistent interleavings whatever
+// `Ordering` argument the code passes, so these models cannot detect a
+// *wrong ordering* directly — that is TSan's job (CI runs the contend
+// smoke under `-Z sanitizer=thread`). What they do pin down is the
+// *algorithmic* claim each relaxation leans on, across the state reuse
+// that only shows up after a release: every model below runs two full
+// acquire→release cycles per process, so each relaxed site is exercised
+// in its "stale value from the previous cycle" regime.
+
+#[test]
+fn fig2_two_cycles_spin_sees_second_wakeup() {
+    // Relaxed site: the `Q == p` spin load is ACQUIRE. Its soundness
+    // argument needs *every* wake store (release-side and newer-waiter
+    // side) to reach the spinner — including a second wakeup of the same
+    // process after it already cycled once.
+    check_occupancy(
+        "fig2 2-cycle (2,1)",
+        Builder::new().max_preemptions(3),
+        || CcChainKex::new(2, 1),
+        &[0, 1],
+        &[],
+        2,
+    );
+}
+
+#[test]
+fn fig6_two_cycles_last_cursor_advances() {
+    // Relaxed sites: `mine.last` load/store are RELAXED (owner-private
+    // cursor) and the `p[next]` spin is ACQUIRE. Two cycles make the
+    // cursor actually advance through the wheel, so a stale `last`
+    // read would hand the process a spin location nobody will set.
+    check_occupancy(
+        "fig6 2-cycle (2,1)",
+        Builder::new().max_preemptions(3),
+        || DsmChainKex::new(2, 1),
+        &[0, 1],
+        &[],
+        2,
+    );
+}
+
+#[test]
+fn mcs_two_cycles_node_reuse() {
+    // Relaxed sites: `next.store(NIL, RELAXED)` on enqueue, AcqRel tail
+    // swap, RELEASE/ACQUIRE locked-flag handoff. Node reuse is the
+    // classic MCS hazard: cycle 2 re-enqueues the same node cycle 1
+    // just released, so a predecessor still holding a stale `next`
+    // pointer would corrupt the queue.
+    check_occupancy(
+        "mcs 2-cycle (2)",
+        Builder::new().max_preemptions(4),
+        || McsLock::new(2),
+        &[0, 1],
+        &[],
+        2,
+    );
+}
+
+#[test]
+fn fast_path_two_cycles_slow_flag_round_trip() {
+    // Relaxed sites: the X credit counter RMWs are ACQ_REL (same-location
+    // chain) and `slow_flag` is RELAXED (arbitration is advisory; safety
+    // rests on X). Two cycles drive a process through set-then-clear of
+    // its slow flag with the other process mid-protocol.
+    check_occupancy(
+        "fast path 2-cycle (3,1)",
+        Builder::new().max_preemptions(2),
+        || FastPathKex::new(3, 1),
+        &[0, 1, 2],
+        &[],
+        2,
+    );
+}
+
+#[test]
+fn fig1_two_cycles_waiting_flag_reuse() {
+    // Relaxed sites: a process's own `waiting` flag is stored RELAXED
+    // (ordered by the enclosing mutex), spun on with ACQUIRE, and
+    // cleared by the releaser with RELEASE. Cycle 2 re-arms the same
+    // flag the releaser just cleared.
+    check_occupancy(
+        "fig1 2-cycle (3,2)",
+        Builder::new().max_preemptions(2),
+        || QueueKex::new(3, 2),
+        &[0, 1, 2],
+        &[],
+        2,
+    );
+}
+
+#[test]
+fn yang_anderson_two_cycles() {
+    // Relaxed sites: only the two `p[..]` spin loads are ACQUIRE; the
+    // three-variable Dekker handshake stays SEQ_CST. Two cycles make
+    // each contender pass through both roles of the arbitration.
+    check_occupancy(
+        "yang-anderson 2-cycle (2)",
+        Builder::new().max_preemptions(4),
+        || YangAndersonLock::new(2),
+        &[0, 1],
+        &[],
+        2,
+    );
+}
+
+#[test]
+fn graceful_two_cycles_depth_cursor() {
+    // Relaxed site: `depth[p]` is an owner-private RELAXED cursor
+    // recording which level the process stopped at; release must read
+    // back the value acquire wrote one cycle earlier.
+    check_occupancy(
+        "graceful 2-cycle (2,1)",
+        Builder::new().max_preemptions(3),
+        || GracefulKex::new(2, 1),
+        &[0, 1],
+        &[],
+        2,
+    );
+}
+
+// The renaming swap/clear pair (ACQ_REL `bit.swap`, RELEASE clear) is
+// already exercised across reuse by `tas_renaming_two_concurrent`
+// above: each process acquires a name twice, so cycle 2 re-swaps bits
+// cycle 1 released.
+
 // --- checker power: the injected Figure-2 ordering bug --------------------
 
 /// Figure 2's admission gate with the atomic `fetch_sub` deliberately

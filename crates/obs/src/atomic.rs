@@ -536,6 +536,37 @@ mod tests {
     }
 
     #[test]
+    fn non_seqcst_orderings_pass_through_and_are_counted() {
+        // The native layer's relaxed hot paths (see kex-core's
+        // `ordering` module) run through this backend under `--features
+        // obs`: every ordering must be forwarded to the real operation
+        // unchanged (no panic, correct result) and instrumented exactly
+        // like SeqCst traffic.
+        use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+        let _g = crate::testlock::hold();
+        crate::reset();
+        let x = AtomicUsize::new(1);
+        {
+            let _s = span(Section::Entry, 3);
+            assert_eq!(x.load(Acquire), 1);
+            x.store(2, Release);
+            x.store(3, Relaxed);
+            assert_eq!(x.swap(4, AcqRel), 3);
+            assert_eq!(x.fetch_add(1, Relaxed), 4);
+            assert_eq!(x.compare_exchange(5, 6, AcqRel, Acquire), Ok(5));
+            assert_eq!(x.compare_exchange(0, 9, Release, Relaxed), Err(6));
+            assert!(x.fetch_update(AcqRel, Acquire, |v| Some(v + 1)).is_ok());
+        }
+        assert_eq!(x.load(Relaxed), 7);
+        let snap = crate::snapshot();
+        let entry = &snap.pid(3).unwrap().sections[Section::Entry as usize];
+        assert_eq!(entry.loads, 1);
+        assert_eq!(entry.stores, 2);
+        // swap + fetch_add + 2 CAS + fetch_update's successful CAS.
+        assert_eq!(entry.rmws, 5);
+    }
+
+    #[test]
     fn pointer_atomics_are_instrumented() {
         let _g = crate::testlock::hold();
         crate::reset();
