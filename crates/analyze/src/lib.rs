@@ -782,6 +782,31 @@ pub fn analyze_all(cfg: &Config) -> Result<Vec<AlgoVerdict>, IrError> {
         .collect()
 }
 
+/// The lower-cased base names of every variable the algorithm's IR
+/// declares — `"fig2[3].X"` and `"fig6[1].R[2][0]"` reduce to `"x"` and
+/// `"r"`.
+///
+/// This is the IR half of `kex-lint`'s cross-layer drift audit: the
+/// lint extracts the receiver names of the native atomic sites from
+/// source and checks each against this set for the corresponding
+/// catalog variant, so the IR and the native code cannot silently
+/// disagree about which shared variables an algorithm touches.
+pub fn ir_var_basenames(algo: Algorithm, cfg: &Config) -> std::collections::BTreeSet<String> {
+    let proto = algo.build(cfg.n, cfg.k, cfg.max_locs);
+    proto
+        .vars()
+        .iter()
+        .map(|(_, spec)| {
+            let base = spec.name.rsplit('.').next().unwrap_or(&spec.name);
+            base.chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .to_ascii_lowercase()
+        })
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // The pinned verdict matrix
 // ---------------------------------------------------------------------------

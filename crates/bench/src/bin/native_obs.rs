@@ -243,6 +243,30 @@ fn run_case(case: &Case, n: usize, k: usize, cycles: u64) -> CaseResult {
         buckets: entry_hist.into_iter().collect(),
     };
 
+    // Per-site traffic for the cross-layer drift audit (`kex-lint`):
+    // every native-layer location the instrumented backend recorded for
+    // this case, sorted for a stable committed document, plus whether
+    // the fixed-capacity site table overflowed — a truncated inventory
+    // must be reported as such, never mistaken for a clean one.
+    let sites_truncated = snap.sites.iter().any(|s| s.location == "<overflow>");
+    let mut native_sites: Vec<&kex_obs::SiteSnapshot> = snap
+        .sites
+        .iter()
+        .filter(|s| s.location.contains("src/native/"))
+        .collect();
+    native_sites.sort_by(|a, b| a.location.cmp(&b.location));
+    let site_docs: Vec<Json> = native_sites
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("location", s.location.as_str().into()),
+                ("loads", s.loads.into()),
+                ("stores", s.stores.into()),
+                ("rmws", s.rmws.into()),
+            ])
+        })
+        .collect();
+
     let json = Json::obj(vec![
         ("name", case.name.into()),
         ("target_model", case.target_model.into()),
@@ -285,6 +309,8 @@ fn run_case(case: &Case, n: usize, k: usize, cycles: u64) -> CaseResult {
         ("bound_per_pair", case.bound.map_or(Json::Null, Json::U64)),
         ("mean_remote_per_pair_target", target_mean.into()),
         ("within_bound", within_bound.into()),
+        ("sites", Json::arr(site_docs)),
+        ("sites_truncated", sites_truncated.into()),
     ]);
 
     println!(

@@ -126,8 +126,8 @@ impl Drop for NameGuard<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kex_util::sync::atomic::{AtomicUsize, Ordering::SeqCst};
     use std::collections::HashSet;
-    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
     use std::sync::Mutex;
 
     #[test]

@@ -97,7 +97,7 @@ impl DsmStage {
             // owner-private (atomic only for `Sync`), so Relaxed.
             let mut next = (mine.last.load(ord::RELAXED) + 1) % self.locs;
             while mine.r[next].load(ord::SEQ_CST) != 0 {
-                next = (next + 1) % self.locs;
+                next = (next + 1) % self.locs; // kex-lint: allow(spin): bounded local scan
             }
             // Statement 6: initialize it.
             mine.p[next].store(false, ord::SEQ_CST);

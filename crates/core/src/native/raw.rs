@@ -101,7 +101,10 @@ impl<K: RawKex> RawKexObject for K {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    // Facade types, not `std::sync::atomic`: the literal `Ordering::SeqCst`
+    // arguments below are fine under the ordering-policy lint, which exempts
+    // `#[cfg(test)]` code (test scaffolding is not an audited hot path).
+    use kex_util::sync::atomic::{AtomicUsize, Ordering};
 
     struct CountingKex {
         inside: AtomicUsize,

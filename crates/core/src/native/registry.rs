@@ -7,8 +7,10 @@
 //! because a departing thread is, by definition, in its noncritical
 //! section forever (a nonfaulty departure in the paper's model).
 
-use kex_util::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use kex_util::sync::atomic::AtomicBool;
 use std::sync::Arc;
+
+use super::ordering as ord;
 
 /// Allocates distinct process ids in `0..n` to threads.
 #[derive(Debug)]
@@ -34,7 +36,7 @@ impl ProcessRegistry {
     /// Returns `None` when all `n` ids are taken.
     pub fn register(&self) -> Option<ProcessId> {
         for (pid, slot) in self.slots.iter().enumerate() {
-            if !slot.swap(true, SeqCst) {
+            if !slot.swap(true, ord::SEQ_CST) {
                 return Some(ProcessId {
                     pid,
                     slots: Arc::clone(&self.slots),
@@ -69,7 +71,7 @@ impl ProcessId {
 
 impl Drop for ProcessId {
     fn drop(&mut self) {
-        self.slots[self.pid].store(false, SeqCst);
+        self.slots[self.pid].store(false, ord::SEQ_CST);
     }
 }
 

@@ -105,7 +105,7 @@ impl<O: Sync> Resilient<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+    use kex_util::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 
     /// A deliberately non-thread-safe-looking "k-process object": a set of
     /// per-name scratch cells. If two concurrent operations ever receive
@@ -153,8 +153,8 @@ mod tests {
         // acquiring and never releasing); with k = 3 one slot remains and
         // everyone else still completes.
         let r = Resilient::new(6, 3, PerNameCells::new(3));
-        let crashed = std::sync::atomic::AtomicUsize::new(0);
-        let done = std::sync::atomic::AtomicUsize::new(0);
+        let crashed = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for p in 0..2 {
                 let (r, crashed, done) = (&r, &crashed, &done);

@@ -1,0 +1,1957 @@
+//! Source-level conformance lints for the kex workspace.
+//!
+//! The repository's correctness story leans on three *conventions* that
+//! rustc cannot enforce:
+//!
+//! 1. **Ordering policy** — every atomic call site in
+//!    `crates/core/src/native/` names its memory ordering through the
+//!    audited constants in `kex_core::native::ordering` (never a literal
+//!    `Ordering::*`), and every site has a justification row in
+//!    `docs/MEMORY_ORDERING.md` plus an entry in the committed site
+//!    manifest `docs/ordering_sites.json`.
+//! 2. **Facade discipline** — library code reaches atomics, spin hints
+//!    and thread spawning only through the `kex_util::sync` facade, so a
+//!    single `--cfg loom` (or `--features obs`) rebuild swaps every call
+//!    site onto the model-checked / instrumented backend. A direct
+//!    `std::sync::atomic` import silently opts a site out of both.
+//! 3. **Spin etiquette** — native busy-wait loops back off through
+//!    `kex_util::Backoff` (which routes to the facade's spin hint), so
+//!    the loom build can bound them and the contended benchmarks measure
+//!    what production runs.
+//!
+//! `kex-lint` is a dependency-free, token-level analyzer over the
+//! workspace's own sources that machine-checks all three, plus a
+//! **cross-layer drift audit**: the same physical `file:line` inventory
+//! is maintained independently by this crate (source scan), by
+//! `docs/MEMORY_ORDERING.md` (the human audit table), by the kex-obs
+//! runtime site registry (`#[track_caller]` interning, exported into
+//! `BENCH_native.json`), and by the kex-analyze protocol IR (per-variable
+//! access summaries). The manifest `docs/ordering_sites.json` is the
+//! committed rendezvous point; the drift pass fails if any layer
+//! disagrees with it in either direction.
+//!
+//! The scanner is deliberately *token-level*, not a Rust parser: it
+//! masks comments, strings and char literals (preserving byte offsets
+//! and line numbers), tracks `#[cfg(test)]` brace regions, and pattern
+//! matches the remainder. That is exactly enough for the four lints and
+//! keeps the crate free of syn-style dependencies (the workspace builds
+//! fully offline).
+//!
+//! Findings can be suppressed per line with a trailing directive
+//! comment, e.g. `// kex-lint: allow(spin): <reason>`; the directive
+//! must share the line with the flagged construct so that suppressions
+//! never shift the `file:line` coordinates the audit table cites.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use kex_analyze::Config;
+use kex_core::sim::build::Algorithm;
+use kex_obs::json::{self, Json};
+
+/// Schema identifier written into `docs/ordering_sites.json`.
+pub const MANIFEST_SCHEMA: &str = "kex-lint/ordering_sites/v1";
+
+/// Schema identifier of the JSON findings report.
+pub const FINDINGS_SCHEMA: &str = "kex-lint/findings/v1";
+
+/// Schema identifier expected of `BENCH_native.json`.
+const BENCH_SCHEMA: &str = "kex-bench/native_obs/v1";
+
+/// Repo-relative directory roots loaded into a [`Workspace`].
+///
+/// `crates/loom` and `crates/obs` are the facade's alternative backends
+/// (they *implement* the abstraction and legitimately touch std), and
+/// `crates/bench` is a host-side harness that is explicitly allowed
+/// `std::hint::black_box` and friends — none of the three is scanned.
+const SCAN_ROOTS: &[&str] = &[
+    "crates/core/src",
+    "crates/waitfree/src",
+    "crates/util/src",
+    "crates/util/tests",
+    "crates/sim/src",
+    "crates/analyze/src",
+    "crates/lint/src",
+    "src",
+];
+
+/// The audited hot-path directory.
+const NATIVE_PREFIX: &str = "crates/core/src/native/";
+
+/// The one file allowed to spell `Ordering::*` literals: it *defines*
+/// the audited constants.
+const ORDERING_MODULE: &str = "crates/core/src/native/ordering.rs";
+
+/// Native files exempt from the site passes: test scaffolding compiled
+/// only under `cfg(test)` (via the `mod` declaration, not an in-file
+/// region), so it is not an audited hot path.
+const NATIVE_TEST_SUPPORT: &[&str] = &["crates/core/src/native/testutil.rs"];
+
+/// Substrings whose appearance (in code, not comments/strings) bypasses
+/// the `kex_util::sync` facade.
+const FACADE_PATTERNS: &[&str] = &[
+    "std::sync::atomic",
+    "core::sync::atomic",
+    "std::hint::spin_loop",
+    "core::hint::spin_loop",
+    "std::thread::spawn",
+    "std::thread::yield_now",
+];
+
+/// Files allowed to name the facade-bypassing paths, with the reason on
+/// record (rendered into findings if the list drifts out of date).
+const FACADE_ALLOW: &[(&str, &str)] = &[
+    (
+        "crates/util/src/sync.rs",
+        "the facade itself: re-exports std as its non-loom, non-obs backend",
+    ),
+    (
+        "crates/util/src/lib.rs",
+        "backoff tuning globals are plain std atomics on purpose; the loom build compiles them out",
+    ),
+    (
+        "crates/util/tests/zero_cost.rs",
+        "asserts the facade's std backend is type-identical to std::sync::atomic",
+    ),
+];
+
+/// Atomic methods whose call sites constitute the ordering inventory.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// Ordering keywords recognized in the audit table's *Implemented*
+/// column, longest first so `SeqCst` wins over nothing and `AcqRel`
+/// is matched before `Acquire`/`Release` by earliest-position search.
+const ORDERING_KEYWORDS: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+
+/// One [`IR_MAP`] row: native file, the IR algorithm modelling it, and
+/// the receiver-name → IR-variable aliases.
+type IrMapRow = (
+    &'static str,
+    Algorithm,
+    &'static [(&'static str, &'static str)],
+);
+
+/// Map from native file to the analyzer-IR algorithm modelling it, plus
+/// the receiver-name → IR-variable aliases. Files absent here have no
+/// statement-level IR counterpart (MCS and Yang–Anderson are native-only
+/// building blocks; the registry is plumbing) and their manifest `ir`
+/// fields stay `null`.
+const IR_MAP: &[IrMapRow] = &[
+    ("fig2.rs", Algorithm::CcChain, &[("x", "x"), ("q", "q")]),
+    (
+        "fig6.rs",
+        Algorithm::DsmChain,
+        &[("x", "x"), ("q", "q"), ("r", "r"), ("p", "p")],
+    ),
+    ("fast_path.rs", Algorithm::CcFastPath, &[("x", "x")]),
+    ("renaming.rs", Algorithm::AssignmentCc, &[("bits", "x")]),
+    ("fig1.rs", Algorithm::QueueFig1, &[]),
+];
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// Which lint pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Ordering-policy lint (constants, manifest, audit table).
+    Ordering,
+    /// Facade-bypass detector.
+    Facade,
+    /// Busy-wait backoff lint.
+    Spin,
+    /// Cross-layer site-drift audit (manifest vs runtime vs IR).
+    Drift,
+}
+
+impl Pass {
+    /// Stable lowercase name (used in reports and `allow(...)`
+    /// directives).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Ordering => "ordering",
+            Pass::Facade => "facade",
+            Pass::Spin => "spin",
+            Pass::Drift => "drift",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which ordering flavour is being audited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Build {
+    /// The audited per-site orderings (no `seqcst` feature).
+    Default,
+    /// `--features seqcst`: every constant must collapse to `SeqCst`.
+    SeqCst,
+}
+
+impl Build {
+    /// The flavour this lint binary itself was compiled for.
+    pub fn active() -> Build {
+        if cfg!(feature = "seqcst") {
+            Build::SeqCst
+        } else {
+            Build::Default
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Build::Default => "default",
+            Build::SeqCst => "seqcst",
+        }
+    }
+}
+
+/// One conformance violation, anchored to a source coordinate.
+///
+/// `line == 0` marks a file- or artifact-level finding (a missing
+/// manifest, a truncated runtime inventory) with no single line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that fired.
+    pub pass: Pass,
+    /// Repo-relative path (or artifact name such as `BENCH_native.json`).
+    pub file: String,
+    /// 1-based line, or 0 for whole-file findings.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "[{}] {} — {}", self.pass, self.file, self.message)
+        } else {
+            write!(
+                f,
+                "[{}] {}:{} — {}",
+                self.pass, self.file, self.line, self.message
+            )
+        }
+    }
+}
+
+fn finding(pass: Pass, file: &str, line: usize, message: impl Into<String>) -> Finding {
+    Finding {
+        pass,
+        file: file.to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source model: masking, test regions, directives
+// ---------------------------------------------------------------------------
+
+/// Replaces every byte of comments, string literals and char literals
+/// with a space (newlines are preserved), so downstream passes can
+/// pattern-match code without being fooled by prose. Byte offsets and
+/// line numbers are unchanged: the output has exactly the input's
+/// length.
+pub fn mask_source(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let len = bytes.len();
+    let mut out = bytes.to_vec();
+    let blank = |out: &mut [u8], idx: usize| {
+        if out[idx] != b'\n' && out[idx] != b'\r' {
+            out[idx] = b' ';
+        }
+    };
+    let mut i = 0;
+    while i < len {
+        let c = bytes[i];
+        if c == b'/' && i + 1 < len && bytes[i + 1] == b'/' {
+            while i < len && bytes[i] != b'\n' {
+                out[i] = b' ';
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < len {
+                if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+        } else if let Some((quote, hashes, raw)) = string_start(bytes, i) {
+            // Blank the whole literal, prefix and quotes included.
+            for idx in i..=quote {
+                blank(&mut out, idx);
+            }
+            let mut j = quote + 1;
+            loop {
+                if j >= len {
+                    break; // unterminated; nothing more to mask
+                }
+                if bytes[j] == b'\\' && !raw {
+                    blank(&mut out, j);
+                    if j + 1 < len {
+                        blank(&mut out, j + 1);
+                    }
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == b'"' {
+                    let close = bytes[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .take_while(|&&b| b == b'#')
+                        .count();
+                    if close == hashes {
+                        for idx in j..=j + hashes {
+                            blank(&mut out, idx);
+                        }
+                        j += hashes + 1;
+                        break;
+                    }
+                }
+                blank(&mut out, j);
+                j += 1;
+            }
+            i = j;
+        } else if c == b'\'' {
+            if i + 1 < len && bytes[i + 1] == b'\\' {
+                // Escaped char literal: '\n', '\\', '\'', '\u{..}'. The
+                // byte right after the backslash is always payload, so
+                // the closing quote search starts past it.
+                let mut j = (i + 3).min(len);
+                while j < len && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                for idx in i..=j.min(len - 1) {
+                    blank(&mut out, idx);
+                }
+                i = j + 1;
+            } else if i + 1 < len {
+                // Either a one-scalar char literal ('x', '—') or a
+                // lifetime ('a, 'static). A closing quote directly after
+                // one UTF-8 scalar decides.
+                let scalar = utf8_len(bytes[i + 1]);
+                if i + 1 + scalar < len && bytes[i + 1 + scalar] == b'\'' {
+                    for idx in i..=i + 1 + scalar {
+                        blank(&mut out, idx);
+                    }
+                    i += scalar + 2;
+                } else {
+                    i += 1; // lifetime
+                }
+            } else {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    String::from_utf8(out).expect("masking replaces whole UTF-8 scalars")
+}
+
+/// If a string literal starts at `i`, returns `(index of the opening
+/// quote, raw-string hash count, is_raw)`.
+fn string_start(bytes: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let prefixed = i > 0 && is_ident(bytes[i - 1]);
+    match bytes[i] {
+        b'"' => Some((i, 0, false)),
+        b'r' | b'b' if !prefixed => {
+            let mut j = i + 1;
+            if bytes[i] == b'b' && j < bytes.len() && bytes[j] == b'r' {
+                j += 1;
+            }
+            let raw = j > i + 1 || bytes[i] == b'r';
+            let mut hashes = 0;
+            while raw && j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' && (raw || bytes[i] == b'b') {
+                Some((j, hashes, raw))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// One scanned source file with its masked text and structural indexes.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Original text.
+    pub text: String,
+    /// Comment/string-masked text, byte-aligned with `text`.
+    pub masked: String,
+    line_starts: Vec<usize>,
+    test_regions: Vec<(usize, usize)>,
+    allows: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Builds the masked view and structural indexes for `text`.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let path = path.into();
+        let text = text.into();
+        let masked = mask_source(&text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_regions = find_test_regions(&masked);
+        let allows = find_allow_directives(&text);
+        SourceFile {
+            path,
+            text,
+            masked,
+            line_starts,
+            test_regions,
+            allows,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// Whether `offset` falls inside a `#[cfg(test)]`-gated region.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether `line` carries a `kex-lint: allow(<pass>)` directive.
+    pub fn allowed(&self, line: usize, pass: Pass) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, p)| *l == line && p == pass.name())
+    }
+}
+
+/// Byte ranges of items gated behind `#[cfg(... test ...)]`.
+fn find_test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let mb = masked.as_bytes();
+    let len = mb.len();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while let Some(rel) = masked[i..].find("#[") {
+        let attr_start = i + rel;
+        let mut j = attr_start + 2;
+        let mut depth = 1usize;
+        while j < len && depth > 0 {
+            match mb[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = j; // one past the closing `]`
+        let attr = masked[attr_start + 2..attr_end.saturating_sub(1)].trim();
+        i = attr_end;
+        if !(attr.starts_with("cfg") && !attr.starts_with("cfg_attr") && has_word(attr, "test")) {
+            continue;
+        }
+        // Skip whitespace and any further attributes, then take the
+        // following item's brace block (or its terminating `;`).
+        let mut k = attr_end;
+        loop {
+            while k < len && mb[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if k + 1 < len && mb[k] == b'#' && mb[k + 1] == b'[' {
+                k += 2;
+                let mut d = 1usize;
+                while k < len && d > 0 {
+                    match mb[k] {
+                        b'[' => d += 1,
+                        b']' => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let mut paren = 0isize;
+        let mut body_open = None;
+        while k < len {
+            match mb[k] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' if paren == 0 => {
+                    body_open = Some(k);
+                    break;
+                }
+                b';' if paren == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = match body_open {
+            Some(open) => {
+                let mut d = 1usize;
+                let mut m = open + 1;
+                while m < len && d > 0 {
+                    match mb[m] {
+                        b'{' => d += 1,
+                        b'}' => d -= 1,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                m
+            }
+            None => k.min(len),
+        };
+        regions.push((attr_start, end));
+        i = attr_end;
+    }
+    regions
+}
+
+fn has_word(haystack: &str, word: &str) -> bool {
+    let hb = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0 || !(hb[at - 1].is_ascii_alphanumeric() || hb[at - 1] == b'_');
+        let after = at + word.len();
+        let after_ok =
+            after >= hb.len() || !(hb[after].is_ascii_alphanumeric() || hb[after] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Collects `kex-lint: allow(<pass>)` directives per line from the
+/// *original* text (they live in comments, which masking removes).
+fn find_allow_directives(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(at) = line.find("kex-lint:") else {
+            continue;
+        };
+        let rest = &line[at..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let after = &rest[open + "allow(".len()..];
+        if let Some(close) = after.find(')') {
+            out.push((idx + 1, after[..close].trim().to_string()));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+/// The scanned source tree.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// All loaded files, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under the scan roots relative to `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        for scan in SCAN_ROOTS {
+            let dir = root.join(scan);
+            if dir.is_dir() {
+                walk(&dir, root, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace { files })
+    }
+
+    /// Looks up a file by repo-relative path.
+    pub fn get(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Test support: a copy of the workspace with the first occurrence
+    /// of `from` in `path` replaced by `to`.
+    ///
+    /// # Panics
+    /// Panics if the file or the needle is absent — a mutation test that
+    /// silently mutates nothing would vacuously pass.
+    pub fn replace_in_file(&self, path: &str, from: &str, to: &str) -> Workspace {
+        let mut files = self.files.clone();
+        let file = files
+            .iter_mut()
+            .find(|f| f.path == path)
+            .unwrap_or_else(|| panic!("no such file in workspace: {path}"));
+        assert!(
+            file.text.contains(from),
+            "mutation needle not found in {path}: {from:?}"
+        );
+        let text = file.text.replacen(from, to, 1);
+        *file = SourceFile::new(path, text);
+        Workspace { files }
+    }
+
+    /// Test support: a copy of the workspace with `extra` appended to
+    /// `path`.
+    ///
+    /// # Panics
+    /// Panics if the file is absent.
+    pub fn append_to_file(&self, path: &str, extra: &str) -> Workspace {
+        let mut files = self.files.clone();
+        let file = files
+            .iter_mut()
+            .find(|f| f.path == path)
+            .unwrap_or_else(|| panic!("no such file in workspace: {path}"));
+        let text = format!("{}{extra}", file.text);
+        *file = SourceFile::new(path, text);
+        Workspace { files }
+    }
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::new(rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Atomic-site extraction
+// ---------------------------------------------------------------------------
+
+/// An atomic call site in the audited native layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line of the method token (matches `#[track_caller]`).
+    pub line: usize,
+    /// The atomic method (`load`, `store`, `fetch_add`, ...).
+    pub op: String,
+    /// The receiver's final field/binding name (`q`, `slots`, ...).
+    pub var: String,
+    /// `ord::*` constants named in the arguments, in textual order; the
+    /// first is the site's primary (success) ordering.
+    pub consts: Vec<String>,
+}
+
+impl Site {
+    /// The `file:line` key the other layers use.
+    pub fn key(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+}
+
+fn is_native_site_file(path: &str) -> bool {
+    path.starts_with(NATIVE_PREFIX)
+        && path != ORDERING_MODULE
+        && !NATIVE_TEST_SUPPORT.contains(&path)
+}
+
+/// Extracts every non-test atomic call site under
+/// `crates/core/src/native/` that names an `ord::*` constant.
+pub fn extract_sites(ws: &Workspace) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for file in &ws.files {
+        if !is_native_site_file(&file.path) {
+            continue;
+        }
+        let mb = file.masked.as_bytes();
+        let mut i = 0;
+        while let Some(rel) = file.masked[i..].find('.') {
+            let dot = i + rel;
+            i = dot + 1;
+            let mut j = dot + 1;
+            while j < mb.len() && (mb[j].is_ascii_alphanumeric() || mb[j] == b'_') {
+                j += 1;
+            }
+            let method = &file.masked[dot + 1..j];
+            if !ATOMIC_METHODS.contains(&method) || j >= mb.len() || mb[j] != b'(' {
+                continue;
+            }
+            if file.in_test(dot) {
+                continue;
+            }
+            let Some(close) = match_paren(mb, j) else {
+                continue;
+            };
+            let args = &file.masked[j + 1..close];
+            let consts = ord_consts_in(args);
+            if consts.is_empty() {
+                continue; // not an atomic-ordering call (e.g. slice ops)
+            }
+            sites.push(Site {
+                file: file.path.clone(),
+                line: file.line_of(dot + 1),
+                op: method.to_string(),
+                var: receiver_name(mb, dot),
+                consts,
+            });
+            i = close;
+        }
+    }
+    sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    sites
+}
+
+fn match_paren(mb: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < mb.len() {
+        match mb[k] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+fn ord_consts_in(args: &str) -> Vec<String> {
+    let ab = args.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = args[from..].find("ord::") {
+        let at = from + rel;
+        let boundary = at == 0
+            || !(ab[at - 1].is_ascii_alphanumeric() || ab[at - 1] == b'_' || ab[at - 1] == b':');
+        let mut j = at + "ord::".len();
+        while j < ab.len() && (ab[j].is_ascii_alphanumeric() || ab[j] == b'_') {
+            j += 1;
+        }
+        if boundary && j > at + "ord::".len() {
+            out.push(args[at + "ord::".len()..j].to_string());
+        }
+        from = j.max(at + 1);
+    }
+    out
+}
+
+/// Walks backwards from the method's `.` over whitespace and `[...]`
+/// index groups to the receiver's final identifier.
+fn receiver_name(mb: &[u8], dot: usize) -> String {
+    let mut i = dot as isize - 1;
+    let at = |i: isize| mb[i as usize];
+    loop {
+        while i >= 0 && at(i).is_ascii_whitespace() {
+            i -= 1;
+        }
+        if i < 0 {
+            return "<expr>".to_string();
+        }
+        if at(i) == b']' {
+            let mut depth = 1;
+            i -= 1;
+            while i >= 0 && depth > 0 {
+                match at(i) {
+                    b']' => depth += 1,
+                    b'[' => depth -= 1,
+                    _ => {}
+                }
+                i -= 1;
+            }
+            continue;
+        }
+        if at(i).is_ascii_alphanumeric() || at(i) == b'_' {
+            let end = i as usize + 1;
+            while i >= 0 && (at(i).is_ascii_alphanumeric() || at(i) == b'_') {
+                i -= 1;
+            }
+            return String::from_utf8_lossy(&mb[(i + 1) as usize..end]).into_owned();
+        }
+        return "<expr>".to_string();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordering constants (crates/core/src/native/ordering.rs)
+// ---------------------------------------------------------------------------
+
+/// The feature-gated constant tables parsed out of `ordering.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct OrderingConsts {
+    /// Constant name → `Ordering` variant in the default build, with
+    /// the declaration line.
+    pub default_map: BTreeMap<String, (String, usize)>,
+    /// Constant name → variant under `--features seqcst`.
+    pub seqcst_map: BTreeMap<String, (String, usize)>,
+}
+
+impl OrderingConsts {
+    /// The variant a constant resolves to under `build`.
+    pub fn resolve(&self, name: &str, build: Build) -> Option<&str> {
+        let map = match build {
+            Build::Default => &self.default_map,
+            Build::SeqCst => &self.seqcst_map,
+        };
+        map.get(name).map(|(v, _)| v.as_str())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CfgGate {
+    DefaultOnly,
+    SeqcstOnly,
+}
+
+/// Parses the constant tables and checks their internal invariants
+/// (both branches present, `seqcst` branch collapses everything).
+pub fn parse_ordering_consts(file: &SourceFile) -> (OrderingConsts, Vec<Finding>) {
+    let mut consts = OrderingConsts::default();
+    let mut findings = Vec::new();
+    let mut pending: Option<CfgGate> = None;
+    let mut offset = 0usize;
+    // Original text, not the masked view: the cfg gate names its
+    // feature inside a string literal (`feature = "seqcst"`), which
+    // masking blanks. Comment lines are skipped explicitly instead.
+    for (idx, line) in file.text.lines().enumerate() {
+        let lineno = idx + 1;
+        let start = offset;
+        offset += line.len() + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") || file.in_test(start) {
+            continue;
+        }
+        if trimmed.starts_with("#[") {
+            if trimmed.contains("cfg") && trimmed.contains("seqcst") {
+                pending = Some(if trimmed.contains("not") {
+                    CfgGate::DefaultOnly
+                } else {
+                    CfgGate::SeqcstOnly
+                });
+            } else {
+                pending = None;
+            }
+            continue;
+        }
+        let gate = pending.take();
+        let Some(const_at) = trimmed.find("const ") else {
+            continue;
+        };
+        let Some(colon) = trimmed[const_at..].find(':') else {
+            continue;
+        };
+        let name = trimmed[const_at + "const ".len()..const_at + colon].trim();
+        let Some(var_at) = trimmed.find("Ordering::") else {
+            continue;
+        };
+        let variant: String = trimmed[var_at + "Ordering::".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if !ORDERING_KEYWORDS.contains(&variant.as_str()) {
+            findings.push(finding(
+                Pass::Ordering,
+                &file.path,
+                lineno,
+                format!("constant `{name}` resolves to unknown ordering `{variant}`"),
+            ));
+            continue;
+        }
+        match gate {
+            Some(CfgGate::DefaultOnly) => {
+                consts
+                    .default_map
+                    .insert(name.to_string(), (variant, lineno));
+            }
+            Some(CfgGate::SeqcstOnly) => {
+                consts
+                    .seqcst_map
+                    .insert(name.to_string(), (variant, lineno));
+            }
+            None => {
+                consts
+                    .default_map
+                    .insert(name.to_string(), (variant.clone(), lineno));
+                consts
+                    .seqcst_map
+                    .insert(name.to_string(), (variant, lineno));
+            }
+        }
+    }
+    for (name, (_, lineno)) in &consts.default_map {
+        match consts.seqcst_map.get(name) {
+            None => findings.push(finding(
+                Pass::Ordering,
+                &file.path,
+                *lineno,
+                format!("constant `{name}` has no `--features seqcst` branch"),
+            )),
+            Some((v, l)) if v != "SeqCst" => findings.push(finding(
+                Pass::Ordering,
+                &file.path,
+                *l,
+                format!("constant `{name}` does not collapse to SeqCst under --features seqcst (resolves to `{v}`)"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, (_, lineno)) in &consts.seqcst_map {
+        if !consts.default_map.contains_key(name) {
+            findings.push(finding(
+                Pass::Ordering,
+                &file.path,
+                *lineno,
+                format!("constant `{name}` exists only under --features seqcst"),
+            ));
+        }
+    }
+    (consts, findings)
+}
+
+// ---------------------------------------------------------------------------
+// Audit-table rows (docs/MEMORY_ORDERING.md)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct DocRow {
+    file: String,
+    line: usize,
+    keyword: String,
+    doc_line: usize,
+}
+
+fn parse_doc_rows(doc: &str) -> (Vec<DocRow>, Vec<Finding>) {
+    let mut rows = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in doc.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').collect();
+        if cells.len() < 5 {
+            continue;
+        }
+        let site_cell = cells[1].trim();
+        let Some(site) = site_cell
+            .strip_prefix('`')
+            .and_then(|s| s.split('`').next())
+        else {
+            continue;
+        };
+        let Some((name, lineno)) = site.rsplit_once(':') else {
+            continue;
+        };
+        if !name.ends_with(".rs") {
+            continue;
+        }
+        let Ok(lineno) = lineno.parse::<usize>() else {
+            continue;
+        };
+        let implemented = cells[3].trim();
+        let keyword = ORDERING_KEYWORDS
+            .iter()
+            .filter_map(|k| implemented.find(k).map(|at| (at, *k)))
+            .min()
+            .map(|(_, k)| k.to_string());
+        match keyword {
+            Some(keyword) => rows.push(DocRow {
+                file: format!("{NATIVE_PREFIX}{name}"),
+                line: lineno,
+                keyword,
+                doc_line: idx + 1,
+            }),
+            None => findings.push(finding(
+                Pass::Ordering,
+                "docs/MEMORY_ORDERING.md",
+                idx + 1,
+                format!(
+                    "audit row for `{site}` has no recognizable ordering keyword: {implemented:?}"
+                ),
+            )),
+        }
+    }
+    (rows, findings)
+}
+
+// ---------------------------------------------------------------------------
+// Manifest (docs/ordering_sites.json)
+// ---------------------------------------------------------------------------
+
+/// One committed manifest entry: a source site plus its cross-layer
+/// links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Atomic method.
+    pub op: String,
+    /// Receiver name.
+    pub var: String,
+    /// `ord::*` constants at the site.
+    pub consts: Vec<String>,
+    /// The default-build ordering the primary constant resolves to.
+    pub ordering: String,
+    /// IR variable this receiver models, if the file has an IR
+    /// counterpart.
+    pub ir: Option<String>,
+    /// Exact runtime-registry location (`file:line`) if the committed
+    /// `BENCH_native.json` run drove this site; `null` for cold paths
+    /// the benchmark workload never exercised.
+    pub bench: Option<String>,
+}
+
+impl ManifestEntry {
+    fn key(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+}
+
+/// Parses `docs/ordering_sites.json`.
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestEntry>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != MANIFEST_SCHEMA {
+        return Err(format!(
+            "unexpected manifest schema {schema:?} (want {MANIFEST_SCHEMA:?})"
+        ));
+    }
+    let sites = doc
+        .get("sites")
+        .and_then(Json::as_arr)
+        .ok_or("manifest has no `sites` array")?;
+    let mut out = Vec::new();
+    for (i, s) in sites.iter().enumerate() {
+        let field = |k: &str| -> Result<String, String> {
+            s.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("site #{i}: missing string field `{k}`"))
+        };
+        let opt =
+            |k: &str| -> Option<String> { s.get(k).and_then(Json::as_str).map(str::to_string) };
+        out.push(ManifestEntry {
+            file: field("file")?,
+            line: s
+                .get("line")
+                .and_then(Json::as_u64)
+                .ok_or(format!("site #{i}: missing `line`"))? as usize,
+            op: field("op")?,
+            var: field("var")?,
+            consts: s
+                .get("consts")
+                .and_then(Json::as_arr)
+                .ok_or(format!("site #{i}: missing `consts`"))?
+                .iter()
+                .filter_map(|c| c.as_str().map(str::to_string))
+                .collect(),
+            ordering: field("ordering")?,
+            ir: opt("ir"),
+            bench: opt("bench"),
+        });
+    }
+    Ok(out)
+}
+
+/// Regenerates the manifest text from the current sources (and the
+/// committed `BENCH_native.json`, for the `bench` links).
+pub fn generate_manifest(ws: &Workspace, bench: Option<&str>) -> Result<String, String> {
+    let ordering_file = ws
+        .get(ORDERING_MODULE)
+        .ok_or_else(|| format!("{ORDERING_MODULE} not found in workspace"))?;
+    let (consts, findings) = parse_ordering_consts(ordering_file);
+    if let Some(f) = findings.first() {
+        return Err(format!("cannot generate manifest: {f}"));
+    }
+    let bench_locs = match bench {
+        Some(text) => parse_bench_sites(text)?.locations,
+        None => BTreeSet::new(),
+    };
+    let sites = extract_sites(ws);
+    let mut docs = Vec::new();
+    for site in &sites {
+        let primary = site
+            .consts
+            .first()
+            .ok_or_else(|| format!("{}: site has no ord:: constant", site.key()))?;
+        let ordering = consts
+            .resolve(primary, Build::Default)
+            .ok_or_else(|| format!("{}: unknown constant ord::{primary}", site.key()))?;
+        let short = site.file.trim_start_matches(NATIVE_PREFIX);
+        let ir = IR_MAP
+            .iter()
+            .find(|(f, _, _)| *f == short)
+            .and_then(|(_, _, aliases)| {
+                aliases
+                    .iter()
+                    .find(|(v, _)| *v == site.var)
+                    .map(|(_, ir)| *ir)
+            });
+        let key = site.key();
+        docs.push(Json::obj(vec![
+            ("file", site.file.as_str().into()),
+            ("line", site.line.into()),
+            ("op", site.op.as_str().into()),
+            ("var", site.var.as_str().into()),
+            (
+                "consts",
+                Json::arr(site.consts.iter().map(|c| c.as_str().into()).collect()),
+            ),
+            ("ordering", ordering.into()),
+            ("ir", ir.map_or(Json::Null, Into::into)),
+            (
+                "bench",
+                if bench_locs.contains(&key) {
+                    key.as_str().into()
+                } else {
+                    Json::Null
+                },
+            ),
+        ]));
+    }
+    let doc = Json::obj(vec![
+        ("schema", MANIFEST_SCHEMA.into()),
+        (
+            "note",
+            "Committed inventory of every audited atomic site in crates/core/src/native/. \
+             Checked both ways by kex-lint against the sources, docs/MEMORY_ORDERING.md, \
+             the kex-obs runtime site registry (via BENCH_native.json) and the kex-analyze IR."
+                .into(),
+        ),
+        (
+            "regenerate",
+            "cargo run -p kex-lint --bin lint -- --write-manifest".into(),
+        ),
+        ("sites", Json::arr(docs)),
+    ]);
+    Ok(doc.to_string_pretty())
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_native.json (runtime site registry export)
+// ---------------------------------------------------------------------------
+
+/// The runtime-observed side of the drift audit.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSites {
+    /// Union of native `file:line` locations across all runs.
+    pub locations: BTreeSet<String>,
+    /// Algorithms whose site inventory overflowed `SITE_CAP` (the audit
+    /// cannot certify completeness for them).
+    pub truncated: Vec<String>,
+    /// Algorithm entries predating the per-site export.
+    pub missing_sites: Vec<String>,
+}
+
+/// Parses the per-site inventory out of a `BENCH_native.json` document.
+pub fn parse_bench_sites(text: &str) -> Result<BenchSites, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "unexpected BENCH_native.json schema {schema:?} (want {BENCH_SCHEMA:?})"
+        ));
+    }
+    let mut out = BenchSites::default();
+    let configs = doc
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or("BENCH_native.json has no `configs`")?;
+    for config in configs {
+        for algo in config
+            .get("algorithms")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+        {
+            let name = algo
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("<unnamed>")
+                .to_string();
+            if algo
+                .get("sites_truncated")
+                .map(|v| v == &Json::Bool(true))
+                .unwrap_or(false)
+            {
+                out.truncated.push(name.clone());
+            }
+            let Some(sites) = algo.get("sites").and_then(Json::as_arr) else {
+                out.missing_sites.push(name);
+                continue;
+            };
+            for site in sites {
+                let Some(loc) = site.get("location").and_then(Json::as_str) else {
+                    continue;
+                };
+                if loc == "<overflow>" {
+                    out.truncated.push(name.clone());
+                    continue;
+                }
+                // Normalize to a repo-relative path: the registry
+                // records paths as the compiler saw them.
+                let rel = loc.find("crates/").map_or(loc, |at| &loc[at..]);
+                out.locations.insert(rel.to_string());
+            }
+        }
+    }
+    out.truncated.dedup();
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The four passes
+// ---------------------------------------------------------------------------
+
+/// Pass 1: ordering policy. Literal `Ordering::*` bans, constant-table
+/// invariants, and two-way reconciliation of the source inventory
+/// against the manifest and the audit table.
+pub fn ordering_pass(
+    ws: &Workspace,
+    manifest: Option<&str>,
+    doc: Option<&str>,
+    build: Build,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // 1a. No literal Ordering:: outside ordering.rs (test code exempt).
+    for file in &ws.files {
+        if !is_native_site_file(&file.path) {
+            continue;
+        }
+        let mut i = 0;
+        while let Some(rel) = file.masked[i..].find("Ordering::") {
+            let at = i + rel;
+            i = at + 1;
+            if file.in_test(at) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if file.allowed(line, Pass::Ordering) {
+                continue;
+            }
+            findings.push(finding(
+                Pass::Ordering,
+                &file.path,
+                line,
+                "literal `Ordering::*` in the audited native layer — name an `ord::*` constant from `native::ordering` instead",
+            ));
+        }
+    }
+
+    // 1b. Constant-table invariants.
+    let Some(ordering_file) = ws.get(ORDERING_MODULE) else {
+        findings.push(finding(
+            Pass::Ordering,
+            ORDERING_MODULE,
+            0,
+            "ordering-constant module not found",
+        ));
+        return findings;
+    };
+    let (consts, mut const_findings) = parse_ordering_consts(ordering_file);
+    findings.append(&mut const_findings);
+
+    let sites = extract_sites(ws);
+
+    // 1c. Every constant a site names must exist; under the seqcst
+    // build, every named constant must actively resolve to SeqCst.
+    for site in &sites {
+        for c in &site.consts {
+            match consts.resolve(c, build) {
+                None => findings.push(finding(
+                    Pass::Ordering,
+                    &site.file,
+                    site.line,
+                    format!("site names unknown constant `ord::{c}`"),
+                )),
+                Some(v) if build == Build::SeqCst && v != "SeqCst" => {
+                    findings.push(finding(
+                        Pass::Ordering,
+                        &site.file,
+                        site.line,
+                        format!(
+                            "under --features seqcst this site's `ord::{c}` resolves to `{v}`, not SeqCst"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // 1d. Manifest reconciliation, both directions.
+    match manifest.map(parse_manifest) {
+        None => findings.push(finding(
+            Pass::Ordering,
+            "docs/ordering_sites.json",
+            0,
+            "site manifest missing — generate it with `lint --write-manifest`",
+        )),
+        Some(Err(e)) => findings.push(finding(
+            Pass::Ordering,
+            "docs/ordering_sites.json",
+            0,
+            format!("unreadable site manifest: {e}"),
+        )),
+        Some(Ok(entries)) => {
+            let by_key: BTreeMap<String, &ManifestEntry> =
+                entries.iter().map(|e| (e.key(), e)).collect();
+            let site_keys: BTreeSet<String> = sites.iter().map(Site::key).collect();
+            for site in &sites {
+                match by_key.get(&site.key()) {
+                    None => findings.push(finding(
+                        Pass::Ordering,
+                        &site.file,
+                        site.line,
+                        "atomic site not in docs/ordering_sites.json — regenerate with `lint --write-manifest`",
+                    )),
+                    Some(entry) => {
+                        if entry.op != site.op || entry.var != site.var || entry.consts != site.consts
+                        {
+                            findings.push(finding(
+                                Pass::Ordering,
+                                &site.file,
+                                site.line,
+                                format!(
+                                    "manifest drift: source is `{}.{}({})` but manifest records `{}.{}({})`",
+                                    site.var,
+                                    site.op,
+                                    site.consts.join(", "),
+                                    entry.var,
+                                    entry.op,
+                                    entry.consts.join(", "),
+                                ),
+                            ));
+                        } else if let Some(primary) = site.consts.first() {
+                            let resolved = consts.resolve(primary, Build::Default).unwrap_or("?");
+                            if entry.ordering != resolved {
+                                findings.push(finding(
+                                    Pass::Ordering,
+                                    &site.file,
+                                    site.line,
+                                    format!(
+                                        "manifest declares `{}` but `ord::{primary}` resolves to `{resolved}` in the default build",
+                                        entry.ordering
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            for entry in &entries {
+                if !site_keys.contains(&entry.key()) {
+                    findings.push(finding(
+                        Pass::Ordering,
+                        &entry.file,
+                        entry.line,
+                        "manifest records an atomic site that no longer exists in the source — regenerate with `lint --write-manifest`",
+                    ));
+                }
+            }
+        }
+    }
+
+    // 1e. Audit-table reconciliation, both directions. The table
+    // documents the default build, so this check is build-independent.
+    match doc {
+        None => findings.push(finding(
+            Pass::Ordering,
+            "docs/MEMORY_ORDERING.md",
+            0,
+            "memory-ordering audit table missing",
+        )),
+        Some(doc) => {
+            let (rows, mut row_findings) = parse_doc_rows(doc);
+            findings.append(&mut row_findings);
+            let by_key: BTreeMap<String, &DocRow> = rows
+                .iter()
+                .map(|r| (format!("{}:{}", r.file, r.line), r))
+                .collect();
+            let site_keys: BTreeSet<String> = sites.iter().map(Site::key).collect();
+            for site in &sites {
+                match by_key.get(&site.key()) {
+                    None => findings.push(finding(
+                        Pass::Ordering,
+                        &site.file,
+                        site.line,
+                        "no docs/MEMORY_ORDERING.md audit row for this atomic site",
+                    )),
+                    Some(row) => {
+                        let primary = site.consts.first().map(String::as_str).unwrap_or("?");
+                        let resolved = consts.resolve(primary, Build::Default).unwrap_or("?");
+                        if row.keyword != resolved {
+                            findings.push(finding(
+                                Pass::Ordering,
+                                &site.file,
+                                site.line,
+                                format!(
+                                    "audit table (docs/MEMORY_ORDERING.md:{}) says `{}` but `ord::{primary}` resolves to `{resolved}`",
+                                    row.doc_line, row.keyword
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            for row in &rows {
+                let key = format!("{}:{}", row.file, row.line);
+                if !site_keys.contains(&key) {
+                    findings.push(finding(
+                        Pass::Ordering,
+                        &row.file,
+                        row.line,
+                        format!(
+                            "docs/MEMORY_ORDERING.md:{} documents an atomic site that does not exist in the source",
+                            row.doc_line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+/// Pass 2: facade-bypass detector.
+pub fn facade_pass(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if FACADE_ALLOW.iter().any(|(p, _)| *p == file.path) {
+            continue;
+        }
+        for pattern in FACADE_PATTERNS {
+            let mut i = 0;
+            while let Some(rel) = file.masked[i..].find(pattern) {
+                let at = i + rel;
+                i = at + 1;
+                let line = file.line_of(at);
+                if file.allowed(line, Pass::Facade) {
+                    continue;
+                }
+                findings.push(finding(
+                    Pass::Facade,
+                    &file.path,
+                    line,
+                    format!(
+                        "direct `{pattern}` bypasses the `kex_util::sync` facade (loom/obs builds cannot swap this site)"
+                    ),
+                ));
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Pass 3: spin-loop lint. A native busy-wait (`while` whose condition
+/// performs an atomic load) must back off through the facade.
+pub fn spin_pass(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !is_native_site_file(&file.path) {
+            continue;
+        }
+        let mb = file.masked.as_bytes();
+        let mut i = 0;
+        while let Some(rel) = file.masked[i..].find("while") {
+            let at = i + rel;
+            i = at + "while".len();
+            let before_ok = at == 0 || !(mb[at - 1].is_ascii_alphanumeric() || mb[at - 1] == b'_');
+            let after = at + "while".len();
+            let after_ok = after < mb.len() && mb[after].is_ascii_whitespace();
+            if !before_ok || !after_ok || file.in_test(at) {
+                continue;
+            }
+            // Condition runs to the body's `{` at bracket depth 0.
+            let mut k = after;
+            let mut depth = 0isize;
+            let mut body_open = None;
+            while k < mb.len() {
+                match mb[k] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        body_open = Some(k);
+                        break;
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(open) = body_open else { continue };
+            let cond = &file.masked[after..open];
+            if !cond.contains(".load(") {
+                continue;
+            }
+            let mut d = 1usize;
+            let mut m = open + 1;
+            while m < mb.len() && d > 0 {
+                match mb[m] {
+                    b'{' => d += 1,
+                    b'}' => d -= 1,
+                    _ => {}
+                }
+                m += 1;
+            }
+            let body = &file.masked[open + 1..m.saturating_sub(1)];
+            let line = file.line_of(at);
+            let backs_off = ["snooze", "spin_loop", "yield_now", "park"]
+                .iter()
+                .any(|w| body.contains(w) || cond.contains(w));
+            // A directive anywhere in the loop suppresses it: rustfmt
+            // relocates a comment trailing the `while … {` line into the
+            // body, so the binding must cover the whole loop extent.
+            let body_end_line = file.line_of(m.saturating_sub(1).max(open));
+            let allowed = (line..=body_end_line).any(|l| file.allowed(l, Pass::Spin));
+            if backs_off || allowed {
+                continue;
+            }
+            findings.push(finding(
+                Pass::Spin,
+                &file.path,
+                line,
+                "busy-wait loop without facade backoff — spin through `Backoff::snooze` (or annotate `// kex-lint: allow(spin): <why>`)",
+            ));
+        }
+    }
+    findings
+}
+
+/// Pass 4: cross-layer drift audit — manifest vs runtime site registry
+/// vs analyzer IR.
+pub fn drift_pass(
+    ws: &Workspace,
+    manifest: Option<&str>,
+    bench: Option<&str>,
+    cfg: &Config,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let entries = match manifest.map(parse_manifest) {
+        Some(Ok(entries)) => entries,
+        // The ordering pass already reports a missing/unreadable
+        // manifest; without one there is nothing to reconcile.
+        _ => return findings,
+    };
+    let sites = extract_sites(ws);
+    let site_keys: BTreeSet<String> = sites.iter().map(Site::key).collect();
+
+    // 4a. Runtime registry (BENCH_native.json).
+    let bench_sites = match bench.map(parse_bench_sites) {
+        None => {
+            findings.push(finding(
+                Pass::Drift,
+                "BENCH_native.json",
+                0,
+                "runtime site inventory missing — run the native_obs benchmark to regenerate it",
+            ));
+            None
+        }
+        Some(Err(e)) => {
+            findings.push(finding(
+                Pass::Drift,
+                "BENCH_native.json",
+                0,
+                format!("unreadable runtime site inventory: {e}"),
+            ));
+            None
+        }
+        Some(Ok(b)) => Some(b),
+    };
+    if let Some(bench_sites) = &bench_sites {
+        for name in &bench_sites.truncated {
+            findings.push(finding(
+                Pass::Drift,
+                "BENCH_native.json",
+                0,
+                format!(
+                    "runtime site registry overflowed SITE_CAP for `{name}` — inventory truncated, drift audit cannot certify coverage"
+                ),
+            ));
+        }
+        for name in &bench_sites.missing_sites {
+            findings.push(finding(
+                Pass::Drift,
+                "BENCH_native.json",
+                0,
+                format!(
+                    "algorithm `{name}` entry predates the per-site export — regenerate BENCH_native.json"
+                ),
+            ));
+        }
+        for loc in &bench_sites.locations {
+            if !loc.starts_with(NATIVE_PREFIX) {
+                continue;
+            }
+            if !site_keys.contains(loc) {
+                let (file, line) = loc
+                    .rsplit_once(':')
+                    .map(|(f, l)| (f.to_string(), l.parse().unwrap_or(0)))
+                    .unwrap_or((loc.clone(), 0));
+                findings.push(finding(
+                    Pass::Drift,
+                    &file,
+                    line,
+                    "runtime registry recorded an atomic site here, but the source inventory has none — stale BENCH_native.json or an unaudited site",
+                ));
+            }
+        }
+        for entry in &entries {
+            match &entry.bench {
+                Some(loc) if !bench_sites.locations.contains(loc) => {
+                    findings.push(finding(
+                        Pass::Drift,
+                        &entry.file,
+                        entry.line,
+                        "manifest expects runtime traffic at this site but BENCH_native.json no longer records it — site deleted from the registry, or stale artifacts",
+                    ));
+                }
+                None if bench_sites.locations.contains(&entry.key()) => {
+                    findings.push(finding(
+                        Pass::Drift,
+                        &entry.file,
+                        entry.line,
+                        "runtime registry now records this site but the manifest says it is benchmark-cold — regenerate the manifest",
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // 4b. Analyzer IR: the receiver each manifest entry claims to model
+    // must exist among that algorithm's IR variables.
+    for entry in &entries {
+        let Some(ir) = &entry.ir else { continue };
+        let short = entry.file.trim_start_matches(NATIVE_PREFIX);
+        let Some((_, algo, _)) = IR_MAP.iter().find(|(f, _, _)| *f == short) else {
+            findings.push(finding(
+                Pass::Drift,
+                &entry.file,
+                entry.line,
+                format!("manifest claims IR variable `{ir}` but `{short}` has no IR counterpart"),
+            ));
+            continue;
+        };
+        let basenames = kex_analyze::ir_var_basenames(*algo, cfg);
+        if !basenames.contains(ir) {
+            findings.push(finding(
+                Pass::Drift,
+                &entry.file,
+                entry.line,
+                format!(
+                    "manifest maps receiver `{}` to IR variable `{ir}`, but the {algo:?} protocol IR declares no such variable (has: {})",
+                    entry.var,
+                    basenames.iter().cloned().collect::<Vec<_>>().join(", "),
+                ),
+            ));
+        }
+    }
+
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration & reports
+// ---------------------------------------------------------------------------
+
+/// The companion artifacts the cross-checks read.
+#[derive(Debug, Clone, Default)]
+pub struct Inputs {
+    /// `docs/ordering_sites.json` text.
+    pub manifest: Option<String>,
+    /// `docs/MEMORY_ORDERING.md` text.
+    pub doc: Option<String>,
+    /// `BENCH_native.json` text.
+    pub bench: Option<String>,
+}
+
+impl Inputs {
+    /// Reads the three artifacts from a repo root (missing files become
+    /// `None`, which the passes report as findings).
+    pub fn load(root: &Path) -> Inputs {
+        let read = |p: &str| fs::read_to_string(root.join(p)).ok();
+        Inputs {
+            manifest: read("docs/ordering_sites.json"),
+            doc: read("docs/MEMORY_ORDERING.md"),
+            bench: read("BENCH_native.json"),
+        }
+    }
+}
+
+/// A full audit run: all four passes plus scan statistics.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The ordering flavour audited.
+    pub build: Build,
+    /// Files scanned.
+    pub files: usize,
+    /// Atomic sites in the inventory.
+    pub sites: usize,
+    /// All findings, ordered by (pass, file, line).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// True when no pass fired.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings from one pass.
+    pub fn by_pass(&self, pass: Pass) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.pass == pass)
+    }
+}
+
+/// Runs every pass over a loaded workspace.
+pub fn audit(ws: &Workspace, inputs: &Inputs, build: Build, cfg: &Config) -> Report {
+    let mut findings = ordering_pass(ws, inputs.manifest.as_deref(), inputs.doc.as_deref(), build);
+    findings.extend(facade_pass(ws));
+    findings.extend(spin_pass(ws));
+    findings.extend(drift_pass(
+        ws,
+        inputs.manifest.as_deref(),
+        inputs.bench.as_deref(),
+        cfg,
+    ));
+    findings.sort_by(|a, b| (a.pass, &a.file, a.line).cmp(&(b.pass, &b.file, b.line)));
+    Report {
+        build,
+        files: ws.files.len(),
+        sites: extract_sites(ws).len(),
+        findings,
+    }
+}
+
+/// Human-readable report.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "kex-lint: source conformance audit (build: {})\n\n",
+        report.build.name()
+    ));
+    out.push_str(&format!("  files scanned  {:>4}\n", report.files));
+    out.push_str(&format!("  atomic sites   {:>4}\n", report.sites));
+    out.push_str(&format!("  findings       {:>4}\n", report.findings.len()));
+    if report.clean() {
+        out.push_str("\nclean: sources, manifest, audit table, runtime registry and IR agree\n");
+    } else {
+        out.push('\n');
+        for f in &report.findings {
+            out.push_str(&format!("{f}\n"));
+        }
+    }
+    out
+}
+
+/// JSON report (schema [`FINDINGS_SCHEMA`]).
+pub fn render_json(report: &Report) -> String {
+    let findings = report
+        .findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("pass", f.pass.name().into()),
+                ("file", f.file.as_str().into()),
+                ("line", f.line.into()),
+                ("message", f.message.as_str().into()),
+            ])
+        })
+        .collect();
+    let counts: Vec<(&str, Json)> = [Pass::Ordering, Pass::Facade, Pass::Spin, Pass::Drift]
+        .iter()
+        .map(|p| (p.name(), Json::U64(report.by_pass(*p).count() as u64)))
+        .collect();
+    Json::obj(vec![
+        ("schema", FINDINGS_SCHEMA.into()),
+        ("build", report.build.name().into()),
+        ("files_scanned", report.files.into()),
+        ("atomic_sites", report.sites.into()),
+        ("clean", report.clean().into()),
+        ("counts", Json::obj(counts)),
+        ("findings", Json::arr(findings)),
+    ])
+    .to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_is_offset_preserving_and_strips_prose() {
+        let src = "let a = \"x.load(Ordering::SeqCst)\"; // std::sync::atomic\n\
+                   let c = 'x'; let q = '\\''; let n = '\\n';\n\
+                   /* outer /* nested Ordering::Acquire */ still comment */\n\
+                   let s: &'static str = r#\"std::thread::spawn\"#;\n\
+                   let done = 1;\n";
+        let m = mask_source(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.lines().count(), src.lines().count());
+        for banned in [
+            "Ordering",
+            "std::sync::atomic",
+            "std::thread::spawn",
+            "nested",
+        ] {
+            assert!(!m.contains(banned), "{banned:?} survived masking:\n{m}");
+        }
+        assert!(m.contains("let a"));
+        assert!(m.contains("&'static str"), "lifetimes must not be eaten");
+        assert!(m.contains("let done = 1;"), "code after literals intact");
+    }
+
+    #[test]
+    fn test_regions_cover_gated_items_only() {
+        let src = "fn hot() { x.load(ord::ACQUIRE); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.load(ord::SEQ_CST); }\n\
+                   }\n\
+                   fn also_hot() { z.load(ord::SEQ_CST); }\n";
+        let f = SourceFile::new("t.rs", src);
+        assert!(!f.in_test(src.find("x.load").unwrap()));
+        assert!(f.in_test(src.find("y.load").unwrap()));
+        assert!(!f.in_test(src.find("z.load").unwrap()));
+    }
+
+    #[test]
+    fn site_extraction_walks_receivers_and_orderings() {
+        let src = "fn f(&self) {\n\
+                   \x20   self.slots[self.pid].r[next].fetch_add(1, ord::SEQ_CST);\n\
+                   \x20   self\n\
+                   \x20       .q\n\
+                   \x20       .compare_exchange(a, b, ord::ACQ_REL, ord::ACQUIRE)\n\
+                   \x20       .ok();\n\
+                   \x20   plain.swap(1, 2);\n\
+                   }\n";
+        let ws = Workspace {
+            files: vec![SourceFile::new("crates/core/src/native/x.rs", src)],
+        };
+        let sites = extract_sites(&ws);
+        assert_eq!(sites.len(), 2, "non-atomic swap must not be a site");
+        assert_eq!(
+            (sites[0].var.as_str(), sites[0].op.as_str(), sites[0].line),
+            ("r", "fetch_add", 2)
+        );
+        assert_eq!(sites[0].consts, ["SEQ_CST"]);
+        assert_eq!(
+            (sites[1].var.as_str(), sites[1].op.as_str(), sites[1].line),
+            ("q", "compare_exchange", 5),
+            "multi-line receivers anchor to the method-token line (track_caller's view)"
+        );
+        assert_eq!(sites[1].consts, ["ACQ_REL", "ACQUIRE"]);
+    }
+
+    #[test]
+    fn allow_directives_bind_to_their_line() {
+        let src = "fn f() {\n\
+                   \x20   while x.load(ord::SEQ_CST) != 0 { // kex-lint: allow(spin): bounded scan\n\
+                   \x20   }\n\
+                   \x20   while y.load(ord::SEQ_CST) != 0 {\n\
+                   \x20   }\n\
+                   }\n";
+        let ws = Workspace {
+            files: vec![SourceFile::new("crates/core/src/native/x.rs", src)],
+        };
+        let findings = spin_pass(&ws);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        let f = &ws.files[0];
+        assert!(f.allowed(2, Pass::Spin));
+        assert!(!f.allowed(2, Pass::Facade), "directives are per-pass");
+    }
+
+    #[test]
+    fn spin_pass_accepts_facade_backoff() {
+        let src = "fn f() {\n\
+                   \x20   let backoff = Backoff::new();\n\
+                   \x20   while x.load(ord::ACQUIRE) == p {\n\
+                   \x20       backoff.snooze();\n\
+                   \x20   }\n\
+                   \x20   for i in 0..n {}\n\
+                   }\n";
+        let ws = Workspace {
+            files: vec![SourceFile::new("crates/core/src/native/x.rs", src)],
+        };
+        assert!(spin_pass(&ws).is_empty());
+    }
+}

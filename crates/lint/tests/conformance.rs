@@ -1,0 +1,503 @@
+//! The pinned expected-findings matrix.
+//!
+//! Two halves:
+//!
+//! * **clean baseline** — the real workspace, with its committed
+//!   manifest, audit table and benchmark artifacts, produces zero
+//!   findings in both ordering flavours, and the committed manifest is
+//!   byte-identical to what `--write-manifest` would regenerate.
+//! * **mutation matrix** — for each lint pass, a surgical mutation of a
+//!   source file or companion artifact must produce a finding naming
+//!   the exact file and line. This proves every pass actually fires;
+//!   without it a refactor could quietly turn the whole lint into a
+//!   no-op that still exits 0.
+//!
+//! Mutations are applied to in-memory copies ([`Workspace::replace_in_file`]
+//! and friends); the checkout is never touched.
+
+use std::path::{Path, PathBuf};
+
+use kex_analyze::Config;
+use kex_lint::{
+    audit, drift_pass, facade_pass, generate_manifest, ordering_pass, spin_pass, Build, Finding,
+    Inputs, Pass, Workspace,
+};
+use kex_obs::json::{self, Json};
+
+const FIG2: &str = "crates/core/src/native/fig2.rs";
+const ORDERING: &str = "crates/core/src/native/ordering.rs";
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn setup() -> (Workspace, Inputs) {
+    let root = root();
+    (
+        Workspace::load(&root).expect("scan workspace"),
+        Inputs::load(&root),
+    )
+}
+
+fn line_of(ws: &Workspace, path: &str, needle: &str) -> usize {
+    ws.get(path)
+        .unwrap_or_else(|| panic!("no {path}"))
+        .text
+        .lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("{needle:?} not found in {path}"))
+        + 1
+}
+
+#[track_caller]
+fn assert_finding(findings: &[Finding], pass: Pass, file: &str, line: usize, msg_part: &str) {
+    assert!(
+        findings.iter().any(|f| f.pass == pass
+            && f.file == file
+            && f.line == line
+            && f.message.contains(msg_part)),
+        "expected [{pass}] {file}:{line} containing {msg_part:?}; got:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Clean baseline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn repo_is_clean_in_both_builds() {
+    let (ws, inputs) = setup();
+    for build in [Build::Default, Build::SeqCst] {
+        let report = audit(&ws, &inputs, build, &Config::default());
+        assert!(
+            report.clean(),
+            "expected a clean {} audit; got:\n{}",
+            build.name(),
+            report
+                .findings
+                .iter()
+                .map(|f| format!("  {f}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+        assert!(
+            report.sites >= 60,
+            "site inventory collapsed: {}",
+            report.sites
+        );
+    }
+}
+
+#[test]
+fn committed_manifest_is_fresh() {
+    let (ws, inputs) = setup();
+    let regenerated = generate_manifest(&ws, inputs.bench.as_deref()).expect("generate");
+    assert_eq!(
+        inputs.manifest.as_deref(),
+        Some(regenerated.as_str()),
+        "docs/ordering_sites.json is stale — rerun `cargo run -p kex-lint --bin lint -- --write-manifest`",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Ordering-policy mutations
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flipped_site_constant_is_caught() {
+    let (ws, inputs) = setup();
+    // Same line, same length: only the ordering constant changes.
+    let mutated = ws.replace_in_file(
+        FIG2,
+        "self.q.load(ord::ACQUIRE) == p",
+        "self.q.load(ord::SEQ_CST) == p",
+    );
+    let line = line_of(&mutated, FIG2, "self.q.load(ord::SEQ_CST)");
+    let findings = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::Default,
+    );
+    assert_finding(&findings, Pass::Ordering, FIG2, line, "manifest drift");
+    assert_finding(&findings, Pass::Ordering, FIG2, line, "audit table");
+}
+
+#[test]
+fn flipped_constant_definition_is_caught_at_every_site() {
+    let (ws, inputs) = setup();
+    let mutated = ws.replace_in_file(
+        ORDERING,
+        "pub(crate) const ACQUIRE: Ordering = Ordering::Acquire;",
+        "pub(crate) const ACQUIRE: Ordering = Ordering::Relaxed;",
+    );
+    let findings = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::Default,
+    );
+    let line = line_of(&ws, FIG2, "self.q.load(ord::ACQUIRE)");
+    assert_finding(
+        &findings,
+        Pass::Ordering,
+        FIG2,
+        line,
+        "resolves to `Relaxed`",
+    );
+    // Every ACQUIRE site drifts, not just fig2's spin.
+    assert!(
+        findings.iter().filter(|f| f.pass == Pass::Ordering).count() >= 8,
+        "a constant-definition flip must fan out to all its sites: {findings:?}"
+    );
+}
+
+#[test]
+fn literal_ordering_in_native_code_is_caught() {
+    let (ws, inputs) = setup();
+    let mutated = ws.replace_in_file(
+        FIG2,
+        "self.q.load(ord::ACQUIRE)",
+        "self.q.load(Ordering::Acquire)",
+    );
+    let line = line_of(&mutated, FIG2, "Ordering::Acquire)");
+    let findings = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::Default,
+    );
+    assert_finding(
+        &findings,
+        Pass::Ordering,
+        FIG2,
+        line,
+        "literal `Ordering::*`",
+    );
+}
+
+#[test]
+fn broken_seqcst_collapse_is_caught() {
+    let (ws, inputs) = setup();
+    let mutated = ws.replace_in_file(
+        ORDERING,
+        "const RELEASE: Ordering = Ordering::SeqCst;",
+        "const RELEASE: Ordering = Ordering::Release;",
+    );
+    // Last match: the default branch declares `Ordering::Release` too;
+    // the mutated seqcst branch is the later declaration.
+    let line = mutated
+        .get(ORDERING)
+        .unwrap()
+        .text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("const RELEASE: Ordering = Ordering::Release;"))
+        .map(|(i, _)| i + 1)
+        .last()
+        .unwrap();
+    let findings = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::Default,
+    );
+    assert_finding(
+        &findings,
+        Pass::Ordering,
+        ORDERING,
+        line,
+        "does not collapse to SeqCst",
+    );
+    // Under the seqcst flavour the same break also fires per-site.
+    let seqcst = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::SeqCst,
+    );
+    assert!(
+        seqcst
+            .iter()
+            .any(|f| f.message.contains("not SeqCst") && f.file != ORDERING),
+        "expected per-site seqcst findings: {seqcst:?}"
+    );
+}
+
+#[test]
+fn audit_table_drift_is_caught() {
+    let (ws, inputs) = setup();
+    let doc = inputs
+        .doc
+        .as_deref()
+        .expect("docs/MEMORY_ORDERING.md present")
+        .replacen(
+            "`X.load` | **SeqCst load**",
+            "`X.load` | **Acquire load**",
+            1,
+        );
+    let line = line_of(&ws, FIG2, "self.x.load(ord::SEQ_CST)");
+    let findings = ordering_pass(&ws, inputs.manifest.as_deref(), Some(&doc), Build::Default);
+    assert_finding(&findings, Pass::Ordering, FIG2, line, "audit table");
+}
+
+#[test]
+fn deleted_source_site_leaves_stale_manifest_row() {
+    let (ws, inputs) = setup();
+    // Replace the whole release with a mutex-free stub: both fig2
+    // release sites vanish from the source but stay in the manifest.
+    let mutated = ws.replace_in_file(FIG2, "self.x.fetch_add(1, ord::SEQ_CST);", "");
+    let line = line_of(&ws, FIG2, "self.x.fetch_add(1, ord::SEQ_CST);");
+    let findings = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::Default,
+    );
+    assert_finding(
+        &findings,
+        Pass::Ordering,
+        FIG2,
+        line,
+        "no longer exists in the source",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Facade and spin mutations
+// ---------------------------------------------------------------------------
+
+#[test]
+fn facade_bypass_is_caught() {
+    let (ws, _) = setup();
+    let tree = "crates/core/src/native/tree.rs";
+    let mutated = ws.append_to_file(tree, "\nuse std::sync::atomic::AtomicUsize as Direct;\n");
+    let line = line_of(
+        &mutated,
+        tree,
+        "use std::sync::atomic::AtomicUsize as Direct;",
+    );
+    let findings = facade_pass(&mutated);
+    assert_finding(
+        &findings,
+        Pass::Facade,
+        tree,
+        line,
+        "bypasses the `kex_util::sync` facade",
+    );
+}
+
+#[test]
+fn facade_lint_ignores_comments_and_test_scaffolding_keeps_failing() {
+    let (ws, _) = setup();
+    // A comment mention must NOT fire...
+    let tree = "crates/core/src/native/tree.rs";
+    let commented = ws.append_to_file(tree, "\n// std::sync::atomic is banned here\n");
+    assert!(facade_pass(&commented).is_empty());
+    // ...but a cfg(test) import must: loom still compiles test modules,
+    // so the facade applies there too (the PR-5 satellite fixes).
+    let mutated = ws.replace_in_file(
+        "crates/core/src/native/assignment.rs",
+        "use kex_util::sync::atomic::{AtomicUsize, Ordering::SeqCst};",
+        "use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};",
+    );
+    let findings = facade_pass(&mutated);
+    let line = line_of(
+        &mutated,
+        "crates/core/src/native/assignment.rs",
+        "use std::sync::atomic",
+    );
+    assert_finding(
+        &findings,
+        Pass::Facade,
+        "crates/core/src/native/assignment.rs",
+        line,
+        "bypasses",
+    );
+}
+
+#[test]
+fn raw_spin_loop_is_caught() {
+    let (ws, _) = setup();
+    let mutated = ws.replace_in_file(
+        FIG2,
+        "let backoff = Backoff::new();\n                while self.q.load(ord::ACQUIRE) == p {\n                    backoff.snooze();\n                }",
+        "while self.q.load(ord::ACQUIRE) == p {\n                }",
+    );
+    let line = line_of(&mutated, FIG2, "while self.q.load(ord::ACQUIRE)");
+    let findings = spin_pass(&mutated);
+    assert_finding(&findings, Pass::Spin, FIG2, line, "without facade backoff");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-layer drift mutations
+// ---------------------------------------------------------------------------
+
+/// Drops every runtime-registry record for `loc` from a
+/// `BENCH_native.json` document.
+fn bench_without(text: &str, loc: &str) -> String {
+    fn walk(j: &mut Json, loc: &str) {
+        match j {
+            Json::Arr(items) => {
+                items.retain(|it| {
+                    it.get("location")
+                        .and_then(Json::as_str)
+                        .is_none_or(|l| !l.ends_with(loc))
+                });
+                for it in items {
+                    walk(it, loc);
+                }
+            }
+            Json::Obj(pairs) => {
+                for (_, v) in pairs {
+                    walk(v, loc);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut doc = json::parse(text).expect("parse BENCH_native.json");
+    walk(&mut doc, loc);
+    doc.to_string_pretty()
+}
+
+#[test]
+fn deleted_runtime_site_registration_is_caught() {
+    let (ws, inputs) = setup();
+    let line = line_of(&ws, FIG2, "self.x.fetch_sub(1, ord::SEQ_CST)");
+    let loc = format!("{FIG2}:{line}");
+    let bench = bench_without(inputs.bench.as_deref().expect("BENCH_native.json"), &loc);
+    let findings = drift_pass(
+        &ws,
+        inputs.manifest.as_deref(),
+        Some(&bench),
+        &Config::default(),
+    );
+    assert_finding(
+        &findings,
+        Pass::Drift,
+        FIG2,
+        line,
+        "BENCH_native.json no longer records it",
+    );
+}
+
+#[test]
+fn truncated_runtime_registry_is_reported_not_silently_clean() {
+    let (ws, inputs) = setup();
+    let mut doc = json::parse(inputs.bench.as_deref().unwrap()).unwrap();
+    fn set_first_truncation(j: &mut Json) -> bool {
+        match j {
+            Json::Obj(pairs) => {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "sites_truncated" {
+                        *v = Json::Bool(true);
+                        return true;
+                    }
+                    if set_first_truncation(v) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Json::Arr(items) => items.iter_mut().any(set_first_truncation),
+            _ => false,
+        }
+    }
+    assert!(
+        set_first_truncation(&mut doc),
+        "no sites_truncated field to mutate"
+    );
+    let findings = drift_pass(
+        &ws,
+        inputs.manifest.as_deref(),
+        Some(&doc.to_string_pretty()),
+        &Config::default(),
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.pass == Pass::Drift && f.message.contains("truncated")),
+        "SITE_CAP overflow must surface as a finding: {findings:?}"
+    );
+}
+
+#[test]
+fn unknown_runtime_site_is_caught() {
+    let (ws, inputs) = setup();
+    // Inject a fabricated registry record pointing at a line with no
+    // audited source site.
+    let bench = inputs.bench.as_deref().unwrap().replacen(
+        "\"location\": \"crates/core/src/native/fig2.rs:40\"",
+        "\"location\": \"crates/core/src/native/fig2.rs:41\"",
+        1,
+    );
+    let findings = drift_pass(
+        &ws,
+        inputs.manifest.as_deref(),
+        Some(&bench),
+        &Config::default(),
+    );
+    assert_finding(
+        &findings,
+        Pass::Drift,
+        FIG2,
+        41,
+        "the source inventory has none",
+    );
+}
+
+#[test]
+fn ir_variable_drift_is_caught() {
+    let (ws, inputs) = setup();
+    let manifest = inputs.manifest.as_deref().unwrap();
+    let mut doc = json::parse(manifest).unwrap();
+    let sites = match doc.get("sites") {
+        Some(Json::Arr(_)) => match &mut doc {
+            Json::Obj(pairs) => match pairs.iter_mut().find(|(k, _)| k == "sites") {
+                Some((_, Json::Arr(sites))) => sites,
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        },
+        _ => panic!("manifest has no sites"),
+    };
+    let (file, line) = {
+        let site = sites
+            .iter_mut()
+            .find(|s| s.get("ir").is_some_and(|ir| ir.as_str().is_some()))
+            .expect("at least one IR-linked site");
+        match site {
+            Json::Obj(pairs) => {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "ir" {
+                        *v = Json::Str("no_such_var".into());
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        (
+            site.get("file").and_then(Json::as_str).unwrap().to_string(),
+            site.get("line").and_then(Json::as_u64).unwrap() as usize,
+        )
+    };
+    let findings = drift_pass(
+        &ws,
+        Some(&doc.to_string_pretty()),
+        inputs.bench.as_deref(),
+        &Config::default(),
+    );
+    assert_finding(
+        &findings,
+        Pass::Drift,
+        &file,
+        line,
+        "declares no such variable",
+    );
+}

@@ -168,6 +168,25 @@ pub(crate) fn reset() {
     }
 }
 
+/// Test support: forget every interned location *and* every tally.
+///
+/// Interning is deliberately permanent in production (keys are
+/// `&'static Location` addresses), but the capacity-overflow test must
+/// be able to fill the table from a known-empty state without being
+/// poisoned by sites other tests interned first. Callers must hold the
+/// `testlock`.
+#[cfg(test)]
+pub(crate) fn clear_for_tests() {
+    for slot in &TABLE {
+        slot.key.store(0, Relaxed);
+        for op in &slot.ops {
+            op.store(0, Relaxed);
+        }
+        slot.cc_remote.store(0, Relaxed);
+        slot.dsm_remote.store(0, Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +212,43 @@ mod tests {
         assert_eq!(mine.dsm_remote, 1);
         reset();
         assert!(load().iter().all(|s| !s.location.contains("sites.rs")));
+    }
+
+    #[test]
+    fn capacity_overflow_degrades_to_shared_bucket() {
+        let _g = crate::testlock::hold();
+        clear_for_tests();
+        // `Location` is `Copy`: each leak materializes a distinct
+        // `&'static Location` address, so 2×SITE_CAP of them must
+        // exhaust the table no matter how the probe sequence lands.
+        let mut ids = Vec::new();
+        for _ in 0..SITE_CAP * 2 {
+            let loc: &'static Location<'static> = Box::leak(Box::new(*Location::caller()));
+            ids.push(site_id(loc));
+        }
+        assert!(
+            ids.contains(&SITE_OVERFLOW),
+            "2x capacity distinct locations never overflowed"
+        );
+        assert!(
+            ids.iter().all(|&id| id as usize <= SITE_CAP),
+            "site ids must stay within the table plus the overflow bucket"
+        );
+        // Recording through the overflow id must not panic, and the
+        // snapshot must surface it as `<overflow>` so exporters (and
+        // kex-lint's drift audit) can report truncation instead of a
+        // silently clean inventory.
+        record(SITE_OVERFLOW, OpKind::Load, true, false);
+        record(SITE_OVERFLOW, OpKind::Rmw, false, true);
+        let snap = load();
+        let overflow = snap
+            .iter()
+            .find(|s| s.location == "<overflow>")
+            .expect("overflow bucket visible in snapshot");
+        assert!(overflow.loads >= 1 && overflow.rmws >= 1);
+        assert_eq!(site_name(SITE_OVERFLOW), None);
+        // Leave the table empty for whoever runs next under the lock.
+        clear_for_tests();
+        assert!(load().is_empty());
     }
 }

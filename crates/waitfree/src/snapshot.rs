@@ -170,7 +170,7 @@ impl<T> Drop for Snapshot<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use kex_util::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn scan_sees_updates() {
