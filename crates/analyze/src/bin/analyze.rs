@@ -10,13 +10,21 @@
 
 use std::process::ExitCode;
 
+use kex_analyze::obligations::{
+    expected_obligation_failures, render_obligations_json, render_obligations_text,
+};
 use kex_analyze::{analyze_all, expected_matrix_failures, render_json, render_text, Config};
 
-const USAGE: &str = "usage: analyze [--json] [--assert] [--n N] [--k K] [--max-locs M]\n\
+const USAGE: &str =
+    "usage: analyze [--json] [--assert] [--obligations] [--n N] [--k K] [--max-locs M]\n\
                      \n\
                      Statically audits every algorithm variant: local-spin (CC and DSM),\n\
                      atomic-section size, bounded spin space, name space, and RMR bounds\n\
-                     cross-checked against the paper's Table 1.";
+                     cross-checked against the paper's Table 1.\n\
+                     \n\
+                     --obligations prints the per-variable ordering obligations derived\n\
+                     from the IR (with --json: schema kex-analyze/obligations/v1) instead\n\
+                     of the verdict report. --assert additionally pins the obligations.";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -27,6 +35,7 @@ fn main() -> ExitCode {
     let mut cfg = Config::default();
     let mut json = false;
     let mut assert_matrix = false;
+    let mut obligations = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -40,6 +49,7 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--json" => json = true,
             "--assert" => assert_matrix = true,
+            "--obligations" => obligations = true,
             "--n" => cfg.n = num(&mut i),
             "--k" => cfg.k = num(&mut i),
             "--max-locs" => cfg.max_locs = num(&mut i),
@@ -60,33 +70,60 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let verdicts = match analyze_all(&cfg) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("analyze: {e}");
-            return ExitCode::FAILURE;
+    if obligations {
+        let render = if json {
+            render_obligations_json(&cfg)
+        } else {
+            render_obligations_text(&cfg)
+        };
+        match render {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-
-    if json {
-        println!("{}", render_json(&verdicts, &cfg));
     } else {
-        print!("{}", render_text(&verdicts, &cfg));
+        let verdicts = match analyze_all(&cfg) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        if json {
+            println!("{}", render_json(&verdicts, &cfg));
+        } else {
+            print!("{}", render_text(&verdicts, &cfg));
+        }
+
+        if assert_matrix {
+            let fails = expected_matrix_failures(&verdicts);
+            if !fails.is_empty() {
+                eprintln!("analyze: expected verdict matrix violated:");
+                for f in &fails {
+                    eprintln!("  {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "analyze: expected verdict matrix holds ({} algorithms)",
+                verdicts.len()
+            );
+        }
     }
 
     if assert_matrix {
-        let fails = expected_matrix_failures(&verdicts);
+        let fails = expected_obligation_failures(&cfg);
         if !fails.is_empty() {
-            eprintln!("analyze: expected verdict matrix violated:");
+            eprintln!("analyze: pinned ordering obligations violated:");
             for f in &fails {
                 eprintln!("  {f}");
             }
             return ExitCode::FAILURE;
         }
-        eprintln!(
-            "analyze: expected verdict matrix holds ({} algorithms)",
-            verdicts.len()
-        );
+        eprintln!("analyze: pinned ordering obligations hold");
     }
     ExitCode::SUCCESS
 }

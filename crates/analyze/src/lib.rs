@@ -33,6 +33,8 @@
 //! reports, and [`expected_matrix_failures`] for the pinned verdict
 //! matrix the test suite (and CI's `--assert` mode) enforces.
 
+pub mod obligations;
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -21,9 +21,10 @@ const USAGE: &str =
                      Token-level conformance lints over the workspace sources: ordering-policy\n\
                      checker (ord::* constants, docs/ordering_sites.json manifest and the\n\
                      docs/MEMORY_ORDERING.md audit table, reconciled both ways), facade-bypass\n\
-                     detector, busy-wait backoff lint, and the cross-layer drift audit against\n\
+                     detector, busy-wait backoff lint, the cross-layer drift audit against\n\
                      the kex-obs runtime site registry (BENCH_native.json) and the kex-analyze\n\
-                     protocol IR.";
+                     protocol IR, and the ordering-obligation pass (per-site roles checked\n\
+                     against the IR-derived release/acquire minimums).";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");

@@ -28,12 +28,18 @@
 //! `BENCH_native.json`), and by the kex-analyze protocol IR (per-variable
 //! access summaries). The manifest `docs/ordering_sites.json` is the
 //! committed rendezvous point; the drift pass fails if any layer
-//! disagrees with it in either direction.
+//! disagrees with it in either direction. On top of the inventory sits
+//! the **ordering-obligation pass**: every manifest site carries a
+//! derived `role` (spin / publish / handshake / counter / private),
+//! and the claimed ordering must both fit the role's policy and
+//! satisfy the per-variable minimum the kex-analyze IR derives — so a
+//! manifest row relaxing a publish or handshake participant is a hard
+//! error, not just drift.
 //!
 //! The scanner is deliberately *token-level*, not a Rust parser: it
 //! masks comments, strings and char literals (preserving byte offsets
 //! and line numbers), tracks `#[cfg(test)]` brace regions, and pattern
-//! matches the remainder. That is exactly enough for the four lints and
+//! matches the remainder. That is exactly enough for the five lints and
 //! keeps the crate free of syn-style dependencies (the workspace builds
 //! fully offline).
 //!
@@ -55,7 +61,7 @@ use kex_core::sim::build::Algorithm;
 use kex_obs::json::{self, Json};
 
 /// Schema identifier written into `docs/ordering_sites.json`.
-pub const MANIFEST_SCHEMA: &str = "kex-lint/ordering_sites/v1";
+pub const MANIFEST_SCHEMA: &str = "kex-lint/ordering_sites/v2";
 
 /// Schema identifier of the JSON findings report.
 pub const FINDINGS_SCHEMA: &str = "kex-lint/findings/v1";
@@ -86,6 +92,16 @@ const NATIVE_PREFIX: &str = "crates/core/src/native/";
 /// The one file allowed to spell `Ordering::*` literals: it *defines*
 /// the audited constants.
 const ORDERING_MODULE: &str = "crates/core/src/native/ordering.rs";
+
+/// The wait-free layer, covered by the literal-`Ordering::*` ban (its
+/// sites are not in the manifest inventory — the layer is uniformly
+/// SeqCst by design — but spelling orderings inline would dodge any
+/// future audit, so the naming discipline applies there too).
+const WAITFREE_PREFIX: &str = "crates/waitfree/src/";
+
+/// The waitfree counterpart of `native::ordering`: defines that
+/// crate's named ordering constant, so it may spell `Ordering::*`.
+const WAITFREE_ORDERING_MODULE: &str = "crates/waitfree/src/ordering.rs";
 
 /// Native files exempt from the site passes: test scaffolding compiled
 /// only under `cfg(test)` (via the `mod` declaration, not an in-file
@@ -168,6 +184,86 @@ const IR_MAP: &[IrMapRow] = &[
 ];
 
 // ---------------------------------------------------------------------------
+// Ordering roles (manifest schema v2)
+// ---------------------------------------------------------------------------
+
+/// The role vocabulary of manifest schema v2. Each site is classified
+/// by what its ordering *does*: `spin` (the acquire side of a handoff,
+/// read in a wait loop), `publish` (the release side of a handoff
+/// write), `handshake` (a Dekker-style store/load or RMW pair that
+/// needs the single SC total order), `counter` (an RMW whose own
+/// read-modify-write atomicity carries the protocol) and `private`
+/// (single-owner or freshness-insensitive accesses).
+pub const ROLES: &[&str] = &["spin", "publish", "handshake", "counter", "private"];
+
+/// Sites whose role is pinned by hand because the (op, ordering) shape
+/// misclassifies them: the registry's slot claim is an isolated
+/// ownership RMW (a counter-style claim, SeqCst out of conservatism,
+/// not because it pairs with a remote load) and its slot release is a
+/// plain publish. Keyed by (file, op, var) so line drift in the file
+/// cannot silently detach the exception.
+const ROLE_EXCEPTIONS: &[(&str, &str, &str, &str)] = &[
+    (
+        "crates/core/src/native/registry.rs",
+        "swap",
+        "slot",
+        "counter",
+    ),
+    (
+        "crates/core/src/native/registry.rs",
+        "store",
+        "slots",
+        "publish",
+    ),
+];
+
+/// Derives a site's ordering role from its coordinates, op and
+/// default-build ordering. This is the single source of truth for the
+/// manifest's v2 `role` field: `generate_manifest` writes it and the
+/// obligation pass re-derives it for the consistency check.
+pub fn derive_role(file: &str, op: &str, var: &str, ordering: &str) -> &'static str {
+    if let Some((_, _, _, role)) = ROLE_EXCEPTIONS
+        .iter()
+        .find(|(f, o, v, _)| *f == file && *o == op && *v == var)
+    {
+        return role;
+    }
+    match (op_kind(op), ordering) {
+        (_, "SeqCst") => "handshake",
+        (_, "Relaxed") => "private",
+        ("load", "Acquire") => "spin",
+        ("store", "Release") => "publish",
+        ("rmw", "AcqRel") => "counter",
+        // Non-canonical shapes (a Release load, an Acquire store, ...)
+        // only arise from mutations; classify them as private so the
+        // role-consistency check flags the drift.
+        _ => "private",
+    }
+}
+
+/// Collapses the manifest `op` vocabulary into load / store / rmw.
+fn op_kind(op: &str) -> &'static str {
+    match op {
+        "load" => "load",
+        "store" => "store",
+        _ => "rmw",
+    }
+}
+
+/// Admissible (op kind, claimed orderings) per role. `private` is
+/// unconstrained — the obligation layer has nothing to say about
+/// single-owner accesses — and returns `None`.
+fn role_policy(role: &str) -> Option<(&'static str, &'static [&'static str])> {
+    match role {
+        "spin" => Some(("load", &["Acquire", "SeqCst"])),
+        "publish" => Some(("store", &["Release", "SeqCst"])),
+        "handshake" => Some(("any", &["SeqCst"])),
+        "counter" => Some(("rmw", &["AcqRel", "SeqCst"])),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Findings
 // ---------------------------------------------------------------------------
 
@@ -182,6 +278,8 @@ pub enum Pass {
     Spin,
     /// Cross-layer site-drift audit (manifest vs runtime vs IR).
     Drift,
+    /// Ordering-obligation checker (v2 roles and IR-derived minimums).
+    Obligation,
 }
 
 impl Pass {
@@ -193,6 +291,7 @@ impl Pass {
             Pass::Facade => "facade",
             Pass::Spin => "spin",
             Pass::Drift => "drift",
+            Pass::Obligation => "obligation",
         }
     }
 }
@@ -724,6 +823,13 @@ fn is_native_site_file(path: &str) -> bool {
         && !NATIVE_TEST_SUPPORT.contains(&path)
 }
 
+/// Files subject to the literal-`Ordering::*` ban: the native site
+/// files plus the wait-free layer (minus its own constant module).
+fn is_ordering_policy_file(path: &str) -> bool {
+    is_native_site_file(path)
+        || (path.starts_with(WAITFREE_PREFIX) && path != WAITFREE_ORDERING_MODULE)
+}
+
 /// Extracts every non-test atomic call site under
 /// `crates/core/src/native/` that names an `ord::*` constant.
 pub fn extract_sites(ws: &Workspace) -> Vec<Site> {
@@ -1067,6 +1173,9 @@ pub struct ManifestEntry {
     pub consts: Vec<String>,
     /// The default-build ordering the primary constant resolves to.
     pub ordering: String,
+    /// The site's ordering role (one of [`ROLES`]), derived by
+    /// [`derive_role`] at manifest-generation time.
+    pub role: String,
     /// IR variable this receiver models, if the file has an IR
     /// counterpart.
     pub ir: Option<String>,
@@ -1121,6 +1230,7 @@ pub fn parse_manifest(text: &str) -> Result<Vec<ManifestEntry>, String> {
                 .filter_map(|c| c.as_str().map(str::to_string))
                 .collect(),
             ordering: field("ordering")?,
+            role: field("role")?,
             ir: opt("ir"),
             bench: opt("bench"),
         });
@@ -1173,6 +1283,10 @@ pub fn generate_manifest(ws: &Workspace, bench: Option<&str>) -> Result<String, 
                 Json::arr(site.consts.iter().map(|c| c.as_str().into()).collect()),
             ),
             ("ordering", ordering.into()),
+            (
+                "role",
+                derive_role(&site.file, &site.op, &site.var, ordering).into(),
+            ),
             ("ir", ir.map_or(Json::Null, Into::into)),
             (
                 "bench",
@@ -1190,7 +1304,8 @@ pub fn generate_manifest(ws: &Workspace, bench: Option<&str>) -> Result<String, 
             "note",
             "Committed inventory of every audited atomic site in crates/core/src/native/. \
              Checked both ways by kex-lint against the sources, docs/MEMORY_ORDERING.md, \
-             the kex-obs runtime site registry (via BENCH_native.json) and the kex-analyze IR."
+             the kex-obs runtime site registry (via BENCH_native.json) and the kex-analyze IR. \
+             Schema v2 adds the per-site ordering `role` consumed by the obligation pass."
                 .into(),
         ),
         (
@@ -1274,7 +1389,7 @@ pub fn parse_bench_sites(text: &str) -> Result<BenchSites, String> {
 }
 
 // ---------------------------------------------------------------------------
-// The four passes
+// The five passes
 // ---------------------------------------------------------------------------
 
 /// Pass 1: ordering policy. Literal `Ordering::*` bans, constant-table
@@ -1288,11 +1403,18 @@ pub fn ordering_pass(
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
 
-    // 1a. No literal Ordering:: outside ordering.rs (test code exempt).
+    // 1a. No literal Ordering:: outside the ordering-constant modules
+    // (test code exempt). Covers the native hot paths and the
+    // wait-free layer.
     for file in &ws.files {
-        if !is_native_site_file(&file.path) {
+        if !is_ordering_policy_file(&file.path) {
             continue;
         }
+        let hint = if file.path.starts_with(WAITFREE_PREFIX) {
+            "literal `Ordering::*` in the audited wait-free layer — name the constant from `waitfree::ordering` instead"
+        } else {
+            "literal `Ordering::*` in the audited native layer — name an `ord::*` constant from `native::ordering` instead"
+        };
         let mut i = 0;
         while let Some(rel) = file.masked[i..].find("Ordering::") {
             let at = i + rel;
@@ -1304,12 +1426,7 @@ pub fn ordering_pass(
             if file.allowed(line, Pass::Ordering) {
                 continue;
             }
-            findings.push(finding(
-                Pass::Ordering,
-                &file.path,
-                line,
-                "literal `Ordering::*` in the audited native layer — name an `ord::*` constant from `native::ordering` instead",
-            ));
+            findings.push(finding(Pass::Ordering, &file.path, line, hint));
         }
     }
 
@@ -1728,6 +1845,151 @@ pub fn drift_pass(
     findings
 }
 
+/// Pass 5: ordering-obligation checker.
+///
+/// Validates each manifest site's claimed ordering against two
+/// independent derivations:
+///
+/// * the **role policy** — the site's v2 `role` must match what
+///   [`derive_role`] re-derives from its (op, ordering) shape (or the
+///   pinned exception list), and the claimed ordering must be
+///   admissible for that role;
+/// * the **IR obligations** — for sites linked to an analyzer-IR
+///   variable, the minimum ordering `kex-analyze` derives from the
+///   statement graph (publish edges, Dekker/handshake pairs, spin
+///   reads). A manifest row claiming `Relaxed` — or anything weaker
+///   than the derived minimum — on an obligated site is a hard error.
+pub fn obligation_pass(manifest: Option<&str>, cfg: &Config) -> Vec<Finding> {
+    use kex_analyze::obligations::{
+        derive_obligations, kind_for_op, kind_name, obligation_for, Obligation, Req,
+    };
+
+    let mut findings = Vec::new();
+    let entries = match manifest.map(parse_manifest) {
+        Some(Ok(entries)) => entries,
+        // The ordering pass already reports a missing or unreadable
+        // manifest; without one there is nothing to check.
+        _ => return findings,
+    };
+
+    let mut derived: BTreeMap<String, Vec<Obligation>> = BTreeMap::new();
+    for entry in &entries {
+        // 5a. Role vocabulary.
+        if !ROLES.contains(&entry.role.as_str()) {
+            findings.push(finding(
+                Pass::Obligation,
+                &entry.file,
+                entry.line,
+                format!(
+                    "manifest role `{}` is not one of {}",
+                    entry.role,
+                    ROLES.join("/")
+                ),
+            ));
+            continue;
+        }
+
+        // 5b. Role consistency: the committed role must still be what
+        // the (op, ordering) shape derives.
+        let rederived = derive_role(&entry.file, &entry.op, &entry.var, &entry.ordering);
+        if rederived != entry.role {
+            findings.push(finding(
+                Pass::Obligation,
+                &entry.file,
+                entry.line,
+                format!(
+                    "manifest role `{}` does not match the role `{rederived}` derived for a {} `{}` — regenerate with `lint --write-manifest`",
+                    entry.role, entry.ordering, entry.op,
+                ),
+            ));
+        }
+
+        // 5c. Role policy: op shape and claimed ordering must be
+        // admissible for the committed role.
+        if let Some((kind, admissible)) = role_policy(&entry.role) {
+            if kind != "any" && op_kind(&entry.op) != kind {
+                findings.push(finding(
+                    Pass::Obligation,
+                    &entry.file,
+                    entry.line,
+                    format!(
+                        "role `{}` is a {kind} role but the site's op is `{}`",
+                        entry.role, entry.op,
+                    ),
+                ));
+            }
+            if !admissible.contains(&entry.ordering.as_str()) {
+                findings.push(finding(
+                    Pass::Obligation,
+                    &entry.file,
+                    entry.line,
+                    format!(
+                        "role `{}` admits only {} but the site claims `{}`",
+                        entry.role,
+                        admissible.join("/"),
+                        entry.ordering,
+                    ),
+                ));
+            }
+        }
+
+        // 5d. IR cross-check: the claimed ordering must satisfy the
+        // obligation the analyzer derives for the linked IR variable.
+        let Some(ir) = &entry.ir else { continue };
+        let short = entry.file.trim_start_matches(NATIVE_PREFIX);
+        let Some((_, algo, _)) = IR_MAP.iter().find(|(f, _, _)| *f == short) else {
+            continue; // drift pass 4b reports ir-on-unmapped-file
+        };
+        if !derived.contains_key(short) {
+            let obls = match derive_obligations(*algo, cfg) {
+                Ok(obls) => obls,
+                Err(e) => {
+                    findings.push(finding(
+                        Pass::Obligation,
+                        &entry.file,
+                        0,
+                        format!("cannot derive ordering obligations for {algo:?}: {e}"),
+                    ));
+                    Vec::new()
+                }
+            };
+            derived.insert(short.to_string(), obls);
+        }
+        let Some(obl) = obligation_for(&derived[short], ir, kind_for_op(&entry.op)) else {
+            continue;
+        };
+        let Some(claimed) = Req::parse(&entry.ordering) else {
+            findings.push(finding(
+                Pass::Obligation,
+                &entry.file,
+                entry.line,
+                format!("unparseable manifest ordering `{}`", entry.ordering),
+            ));
+            continue;
+        };
+        if !claimed.satisfies(obl.req) {
+            let hard = if claimed == Req::Relaxed {
+                " — a Relaxed claim on an obligated site is a hard error"
+            } else {
+                ""
+            };
+            findings.push(finding(
+                Pass::Obligation,
+                &entry.file,
+                entry.line,
+                format!(
+                    "IR obligation violated: the {} of `{ir}` needs at least `{}` ({}), but the manifest claims `{}`{hard}",
+                    kind_name(obl.kind),
+                    obl.req.keyword(),
+                    obl.why,
+                    entry.ordering,
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 // ---------------------------------------------------------------------------
 // Orchestration & reports
 // ---------------------------------------------------------------------------
@@ -1756,7 +2018,7 @@ impl Inputs {
     }
 }
 
-/// A full audit run: all four passes plus scan statistics.
+/// A full audit run: all five passes plus scan statistics.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// The ordering flavour audited.
@@ -1792,6 +2054,7 @@ pub fn audit(ws: &Workspace, inputs: &Inputs, build: Build, cfg: &Config) -> Rep
         inputs.bench.as_deref(),
         cfg,
     ));
+    findings.extend(obligation_pass(inputs.manifest.as_deref(), cfg));
     findings.sort_by(|a, b| (a.pass, &a.file, a.line).cmp(&(b.pass, &b.file, b.line)));
     Report {
         build,
@@ -1836,10 +2099,16 @@ pub fn render_json(report: &Report) -> String {
             ])
         })
         .collect();
-    let counts: Vec<(&str, Json)> = [Pass::Ordering, Pass::Facade, Pass::Spin, Pass::Drift]
-        .iter()
-        .map(|p| (p.name(), Json::U64(report.by_pass(*p).count() as u64)))
-        .collect();
+    let counts: Vec<(&str, Json)> = [
+        Pass::Ordering,
+        Pass::Facade,
+        Pass::Spin,
+        Pass::Drift,
+        Pass::Obligation,
+    ]
+    .iter()
+    .map(|p| (p.name(), Json::U64(report.by_pass(*p).count() as u64)))
+    .collect();
     Json::obj(vec![
         ("schema", FINDINGS_SCHEMA.into()),
         ("build", report.build.name().into()),

@@ -19,8 +19,8 @@ use std::path::{Path, PathBuf};
 
 use kex_analyze::Config;
 use kex_lint::{
-    audit, drift_pass, facade_pass, generate_manifest, ordering_pass, spin_pass, Build, Finding,
-    Inputs, Pass, Workspace,
+    audit, drift_pass, facade_pass, generate_manifest, obligation_pass, ordering_pass,
+    parse_manifest, spin_pass, Build, Finding, Inputs, Pass, Workspace, MANIFEST_SCHEMA,
 };
 use kex_obs::json::{self, Json};
 
@@ -97,6 +97,10 @@ fn repo_is_clean_in_both_builds() {
 fn committed_manifest_is_fresh() {
     let (ws, inputs) = setup();
     let regenerated = generate_manifest(&ws, inputs.bench.as_deref()).expect("generate");
+    assert!(
+        regenerated.contains(&format!("\"schema\": \"{MANIFEST_SCHEMA}\"")),
+        "regenerated manifest must carry the v2 schema"
+    );
     assert_eq!(
         inputs.manifest.as_deref(),
         Some(regenerated.as_str()),
@@ -266,6 +270,170 @@ fn deleted_source_site_leaves_stale_manifest_row() {
         line,
         "no longer exists in the source",
     );
+}
+
+#[test]
+fn literal_ordering_in_waitfree_code_is_caught() {
+    let (ws, inputs) = setup();
+    let counter = "crates/waitfree/src/counter.rs";
+    let mutated = ws.replace_in_file(
+        counter,
+        "fetch_add(delta, SEQ_CST)",
+        "fetch_add(delta, Ordering::SeqCst)",
+    );
+    let line = line_of(&mutated, counter, "Ordering::SeqCst)");
+    let findings = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::Default,
+    );
+    assert_finding(
+        &findings,
+        Pass::Ordering,
+        counter,
+        line,
+        "audited wait-free layer",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Ordering-obligation mutations
+// ---------------------------------------------------------------------------
+
+/// Rewrites one manifest site's string field in a parsed JSON copy.
+fn with_site_field(manifest: &str, file: &str, line: usize, field: &str, value: &str) -> String {
+    let mut doc = json::parse(manifest).expect("parse manifest");
+    let Json::Obj(pairs) = &mut doc else {
+        panic!("manifest is not an object")
+    };
+    let Some((_, Json::Arr(sites))) = pairs.iter_mut().find(|(k, _)| k == "sites") else {
+        panic!("manifest has no sites")
+    };
+    let site = sites
+        .iter_mut()
+        .find(|s| {
+            s.get("file").and_then(Json::as_str) == Some(file)
+                && s.get("line").and_then(Json::as_u64) == Some(line as u64)
+        })
+        .unwrap_or_else(|| panic!("no manifest site {file}:{line}"));
+    let Json::Obj(pairs) = site else {
+        unreachable!()
+    };
+    let (_, v) = pairs
+        .iter_mut()
+        .find(|(k, _)| k == field)
+        .unwrap_or_else(|| panic!("{file}:{line} has no `{field}`"));
+    *v = Json::Str(value.to_string());
+    doc.to_string_pretty()
+}
+
+/// One notch down the ordering lattice, per op shape.
+fn weakened(ordering: &str, op: &str) -> Option<&'static str> {
+    match ordering {
+        "SeqCst" => Some(match op {
+            "load" => "Acquire",
+            "store" => "Release",
+            _ => "AcqRel",
+        }),
+        "AcqRel" => Some("Acquire"),
+        "Acquire" | "Release" => Some("Relaxed"),
+        _ => None, // Relaxed: nothing left to weaken
+    }
+}
+
+/// The full mutation matrix: weakening any non-Relaxed manifest site by
+/// one notch must produce an obligation finding at that exact site —
+/// except the two registry sites whose SeqCst is conservatism, not a
+/// proof obligation (their tolerance is itself pinned here: if the
+/// exception list drifts, this test fails).
+#[test]
+fn weakening_any_load_bearing_site_is_caught() {
+    let (_, inputs) = setup();
+    let manifest = inputs.manifest.as_deref().expect("manifest present");
+    let entries = parse_manifest(manifest).expect("parse");
+    let tolerated = [
+        ("crates/core/src/native/registry.rs", "swap"),
+        ("crates/core/src/native/registry.rs", "store"),
+    ];
+    let cfg = Config::default();
+    let mut weakened_sites = 0;
+    for entry in &entries {
+        let Some(weaker) = weakened(&entry.ordering, &entry.op) else {
+            continue;
+        };
+        weakened_sites += 1;
+        let mutated = with_site_field(manifest, &entry.file, entry.line, "ordering", weaker);
+        let findings = obligation_pass(Some(&mutated), &cfg);
+        let at_site = findings
+            .iter()
+            .filter(|f| f.pass == Pass::Obligation && f.file == entry.file && f.line == entry.line)
+            .count();
+        if tolerated.contains(&(entry.file.as_str(), entry.op.as_str())) {
+            assert_eq!(
+                at_site, 0,
+                "{}:{} ({} {} -> {weaker}) is in the tolerated set but fired: {findings:?}",
+                entry.file, entry.line, entry.op, entry.ordering,
+            );
+        } else {
+            assert!(
+                at_site > 0,
+                "weakening {}:{} ({} {} -> {weaker}) escaped the obligation pass",
+                entry.file,
+                entry.line,
+                entry.op,
+                entry.ordering,
+            );
+        }
+    }
+    assert!(
+        weakened_sites >= 50,
+        "mutation matrix collapsed: only {weakened_sites} non-Relaxed sites"
+    );
+}
+
+#[test]
+fn relaxed_on_obligated_site_is_hard_error() {
+    let (ws, inputs) = setup();
+    let manifest = inputs.manifest.as_deref().unwrap();
+    // fig2's `x` handshake load: the IR derives a SeqCst obligation
+    // (Dekker pair with `q`), so a Relaxed claim is the worst case.
+    let line = line_of(&ws, FIG2, "self.x.load(ord::SEQ_CST)");
+    let mutated = with_site_field(manifest, FIG2, line, "ordering", "Relaxed");
+    let findings = obligation_pass(Some(&mutated), &Config::default());
+    assert_finding(
+        &findings,
+        Pass::Obligation,
+        FIG2,
+        line,
+        "a Relaxed claim on an obligated site is a hard error",
+    );
+}
+
+#[test]
+fn manifest_role_drift_is_caught() {
+    let (ws, inputs) = setup();
+    let manifest = inputs.manifest.as_deref().unwrap();
+    let line = line_of(&ws, FIG2, "self.q.load(ord::ACQUIRE)");
+    let mutated = with_site_field(manifest, FIG2, line, "role", "private");
+    let findings = obligation_pass(Some(&mutated), &Config::default());
+    assert_finding(
+        &findings,
+        Pass::Obligation,
+        FIG2,
+        line,
+        "does not match the role `spin`",
+    );
+}
+
+#[test]
+fn unknown_manifest_role_is_caught() {
+    let (ws, inputs) = setup();
+    let manifest = inputs.manifest.as_deref().unwrap();
+    let line = line_of(&ws, FIG2, "self.q.load(ord::ACQUIRE)");
+    let mutated = with_site_field(manifest, FIG2, line, "role", "frobnicate");
+    let findings = obligation_pass(Some(&mutated), &Config::default());
+    assert_finding(&findings, Pass::Obligation, FIG2, line, "is not one of");
 }
 
 // ---------------------------------------------------------------------------

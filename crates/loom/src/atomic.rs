@@ -3,10 +3,17 @@
 //! Every operation is a schedule point: the checker may switch threads
 //! immediately *before* the operation executes, which is exactly the
 //! granularity at which sequentially consistent interleavings differ.
-//! The `Ordering` argument is accepted for API compatibility but the
-//! simulated memory model is SC regardless (see the crate docs); the
-//! wrapped std atomic is always accessed with `SeqCst`, so the memory
-//! backing the model is physically coherent too.
+//!
+//! By default the simulated memory model is SC regardless of the
+//! `Ordering` argument (see the crate docs); the wrapped std atomic is
+//! always accessed with `SeqCst`, so the memory backing the model is
+//! physically coherent too. With the weak-memory backend enabled
+//! ([`crate::Builder::weak_memory`] / `LOOM_WEAK_MEMORY=1`), the
+//! `Ordering` argument becomes real: each operation reports its ordering
+//! class to the runtime, loads may read older entries of the location's
+//! modification order, and the std atomic keeps holding the
+//! modification-order maximum (every store writes through with
+//! `SeqCst`), so raw memory stays coherent either way.
 //!
 //! Outside [`crate::model`] the types degrade to plain `SeqCst` std
 //! atomics (no scheduling), keeping construction and `Debug` usable.
@@ -17,6 +24,37 @@ use std::panic::Location;
 use std::sync::atomic::Ordering::SeqCst;
 
 use crate::rt;
+
+/// Raw-bits conversion funnelling every atomic value type through the
+/// weak-memory runtime's single `u64` representation.
+trait Bits: Copy {
+    fn to_bits(self) -> u64;
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! bits_int {
+    ($($ty:ty),*) => {
+        $(impl Bits for $ty {
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            fn from_bits(bits: u64) -> Self {
+                bits as $ty
+            }
+        })*
+    };
+}
+
+bits_int!(u8, u32, u64, usize, i64, isize);
+
+impl Bits for bool {
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
 
 macro_rules! atomic_common {
     ($name:ident, $std:ident, $ty:ty) => {
@@ -44,24 +82,49 @@ macro_rules! atomic_common {
                 self.inner.get_mut()
             }
 
-            /// Loads the value (schedule point; read).
+            /// The location key the weak-memory runtime tracks this
+            /// atomic under (stable while the object is alive).
+            fn addr(&self) -> usize {
+                &self.inner as *const _ as usize
+            }
+
+            /// Loads the value (schedule point; read). Under weak
+            /// memory, may read an older modification-order entry as the
+            /// declared ordering permits.
             #[track_caller]
-            pub fn load(&self, _order: Ordering) -> $ty {
+            pub fn load(&self, order: Ordering) -> $ty {
                 rt::schedule(
                     concat!(stringify!($name), "::load"),
                     false,
                     Location::caller(),
                 );
-                self.inner.load(SeqCst)
+                let init = self.inner.load(SeqCst);
+                match rt::weak_load(
+                    self.addr(),
+                    init.to_bits(),
+                    rt::ord_class(order),
+                    concat!(stringify!($name), "::load"),
+                    Location::caller(),
+                ) {
+                    Some(bits) => <$ty as Bits>::from_bits(bits),
+                    None => init,
+                }
             }
 
             /// Stores `v` (schedule point; write).
             #[track_caller]
-            pub fn store(&self, v: $ty, _order: Ordering) {
+            pub fn store(&self, v: $ty, order: Ordering) {
                 rt::schedule(
                     concat!(stringify!($name), "::store"),
                     true,
                     Location::caller(),
+                );
+                let init = self.inner.load(SeqCst);
+                rt::weak_store(
+                    self.addr(),
+                    init.to_bits(),
+                    v.to_bits(),
+                    rt::ord_class(order),
                 );
                 self.inner.store(v, SeqCst)
             }
@@ -69,31 +132,47 @@ macro_rules! atomic_common {
             /// Swaps in `v`, returning the previous value (schedule
             /// point; write).
             #[track_caller]
-            pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
                 rt::schedule(
                     concat!(stringify!($name), "::swap"),
                     true,
                     Location::caller(),
                 );
-                self.inner.swap(v, SeqCst)
+                let old = self.inner.swap(v, SeqCst);
+                let class = rt::ord_class(order);
+                rt::weak_rmw(self.addr(), old.to_bits(), Some(v.to_bits()), class, class);
+                old
             }
 
             /// Compare-and-exchange (schedule point; write — even a
-            /// failed CAS is an RMW-slot access in the SC model).
+            /// failed CAS is an RMW-slot access in the SC model; under
+            /// weak memory a failed CAS is a load with `failure`).
             #[track_caller]
             pub fn compare_exchange(
                 &self,
                 current: $ty,
                 new: $ty,
-                _success: Ordering,
-                _failure: Ordering,
+                success: Ordering,
+                failure: Ordering,
             ) -> Result<$ty, $ty> {
                 rt::schedule(
                     concat!(stringify!($name), "::compare_exchange"),
                     true,
                     Location::caller(),
                 );
-                self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+                let r = self.inner.compare_exchange(current, new, SeqCst, SeqCst);
+                let (old, stored) = match r {
+                    Ok(old) => (old, Some(new.to_bits())),
+                    Err(old) => (old, None),
+                };
+                rt::weak_rmw(
+                    self.addr(),
+                    old.to_bits(),
+                    stored,
+                    rt::ord_class(success),
+                    rt::ord_class(failure),
+                );
+                r
             }
 
             /// Weak compare-and-exchange; never fails spuriously in the
@@ -115,8 +194,8 @@ macro_rules! atomic_common {
             #[track_caller]
             pub fn fetch_update<F>(
                 &self,
-                _set_order: Ordering,
-                _fetch_order: Ordering,
+                set_order: Ordering,
+                fetch_order: Ordering,
                 f: F,
             ) -> Result<$ty, $ty>
             where
@@ -127,7 +206,19 @@ macro_rules! atomic_common {
                     true,
                     Location::caller(),
                 );
-                self.inner.fetch_update(SeqCst, SeqCst, f)
+                let r = self.inner.fetch_update(SeqCst, SeqCst, f);
+                let (old, stored) = match r {
+                    Ok(old) => (old, Some(self.inner.load(SeqCst).to_bits())),
+                    Err(old) => (old, None),
+                };
+                rt::weak_rmw(
+                    self.addr(),
+                    old.to_bits(),
+                    stored,
+                    rt::ord_class(set_order),
+                    rt::ord_class(fetch_order),
+                );
+                r
             }
         }
 
@@ -145,13 +236,17 @@ macro_rules! atomic_int_ops {
             $(
                 #[doc = concat!("`", stringify!($op), "` (schedule point; write).")]
                 #[track_caller]
-                pub fn $op(&self, v: $ty, _order: Ordering) -> $ty {
+                pub fn $op(&self, v: $ty, order: Ordering) -> $ty {
                     rt::schedule(
                         concat!(stringify!($name), "::", stringify!($op)),
                         true,
                         Location::caller(),
                     );
-                    self.inner.$op(v, SeqCst)
+                    let old = self.inner.$op(v, SeqCst);
+                    let new = self.inner.load(SeqCst);
+                    let class = rt::ord_class(order);
+                    rt::weak_rmw(self.addr(), old.to_bits(), Some(new.to_bits()), class, class);
+                    old
                 }
             )*
         }
@@ -204,7 +299,8 @@ atomic_int_ops!(AtomicBool, bool, [fetch_and, fetch_or, fetch_xor]);
 ///
 /// Generic, so the `atomic_common!` macro (which names concrete std
 /// types) does not apply; the operations and scheduling discipline are
-/// identical.
+/// identical. Pointers round-trip through the weak-memory runtime as
+/// their address bits.
 #[derive(Debug)]
 pub struct AtomicPtr<T> {
     inner: std::sync::atomic::AtomicPtr<T>,
@@ -228,26 +324,45 @@ impl<T> AtomicPtr<T> {
         self.inner.get_mut()
     }
 
+    fn addr(&self) -> usize {
+        &self.inner as *const _ as usize
+    }
+
     /// Loads the pointer (schedule point; read).
     #[track_caller]
-    pub fn load(&self, _order: Ordering) -> *mut T {
+    pub fn load(&self, order: Ordering) -> *mut T {
         rt::schedule("AtomicPtr::load", false, Location::caller());
-        self.inner.load(SeqCst)
+        let init = self.inner.load(SeqCst);
+        match rt::weak_load(
+            self.addr(),
+            init as u64,
+            rt::ord_class(order),
+            "AtomicPtr::load",
+            Location::caller(),
+        ) {
+            Some(bits) => bits as usize as *mut T,
+            None => init,
+        }
     }
 
     /// Stores `p` (schedule point; write).
     #[track_caller]
-    pub fn store(&self, p: *mut T, _order: Ordering) {
+    pub fn store(&self, p: *mut T, order: Ordering) {
         rt::schedule("AtomicPtr::store", true, Location::caller());
+        let init = self.inner.load(SeqCst);
+        rt::weak_store(self.addr(), init as u64, p as u64, rt::ord_class(order));
         self.inner.store(p, SeqCst)
     }
 
     /// Swaps in `p`, returning the previous pointer (schedule point;
     /// write).
     #[track_caller]
-    pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
         rt::schedule("AtomicPtr::swap", true, Location::caller());
-        self.inner.swap(p, SeqCst)
+        let old = self.inner.swap(p, SeqCst);
+        let class = rt::ord_class(order);
+        rt::weak_rmw(self.addr(), old as u64, Some(p as u64), class, class);
+        old
     }
 
     /// Compare-and-exchange (schedule point; write — even a failed CAS
@@ -257,11 +372,23 @@ impl<T> AtomicPtr<T> {
         &self,
         current: *mut T,
         new: *mut T,
-        _success: Ordering,
-        _failure: Ordering,
+        success: Ordering,
+        failure: Ordering,
     ) -> Result<*mut T, *mut T> {
         rt::schedule("AtomicPtr::compare_exchange", true, Location::caller());
-        self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+        let r = self.inner.compare_exchange(current, new, SeqCst, SeqCst);
+        let (old, stored) = match r {
+            Ok(old) => (old, Some(new as u64)),
+            Err(old) => (old, None),
+        };
+        rt::weak_rmw(
+            self.addr(),
+            old as u64,
+            stored,
+            rt::ord_class(success),
+            rt::ord_class(failure),
+        );
+        r
     }
 
     /// Weak compare-and-exchange; never fails spuriously in the model.
@@ -280,15 +407,27 @@ impl<T> AtomicPtr<T> {
     #[track_caller]
     pub fn fetch_update<F>(
         &self,
-        _set_order: Ordering,
-        _fetch_order: Ordering,
+        set_order: Ordering,
+        fetch_order: Ordering,
         f: F,
     ) -> Result<*mut T, *mut T>
     where
         F: FnMut(*mut T) -> Option<*mut T>,
     {
         rt::schedule("AtomicPtr::fetch_update", true, Location::caller());
-        self.inner.fetch_update(SeqCst, SeqCst, f)
+        let r = self.inner.fetch_update(SeqCst, SeqCst, f);
+        let (old, stored) = match r {
+            Ok(old) => (old, Some(self.inner.load(SeqCst) as u64)),
+            Err(old) => (old, None),
+        };
+        rt::weak_rmw(
+            self.addr(),
+            old as u64,
+            stored,
+            rt::ord_class(set_order),
+            rt::ord_class(fetch_order),
+        );
+        r
     }
 }
 

@@ -24,11 +24,22 @@
 //!
 //! # Model and guarantees
 //!
-//! * **Memory model**: sequential consistency. Every atomic executes at
-//!   a serialization point regardless of the `Ordering` argument. This
-//!   is exact for the kex native layer (all-`SeqCst` by design, see
-//!   `docs/MEMORY_ORDERING.md`) but would *miss* relaxed-ordering bugs
-//!   in code that relies on weaker orderings being enough.
+//! * **Memory model**: sequential consistency *by default*. Every
+//!   atomic executes at a serialization point, and with weak memory off
+//!   the `Ordering` argument is ignored — exact for all-`SeqCst` code
+//!   but blind to relaxed-ordering bugs. Enabling
+//!   [`Builder::weak_memory`] (or setting `LOOM_WEAK_MEMORY=1`) switches
+//!   the atomics to an operational C11 fragment: per-location
+//!   modification orders, per-thread acquired views, release sequences,
+//!   and an SC order for `SeqCst` accesses, with each load's read-from
+//!   choice explored as a decision (bounded by
+//!   [`Builder::weak_history`]). Known under-approximations, all in the
+//!   safe direction for checking that *forbidden* outcomes stay
+//!   forbidden: no fence modelling (the workspace uses none),
+//!   load-buffering cycles are never produced, read-from enumeration is
+//!   bounded to the newest `weak_history` stores, and a re-scheduled
+//!   spinner reads the newest store (the weak analogue of yield
+//!   demotion).
 //! * **Exhaustiveness**: with no preemption bound the search visits
 //!   every interleaving of schedule points, modulo one sound reduction —
 //!   a thread that executed a spin hint is re-scheduled only after
@@ -80,6 +91,14 @@ pub struct Builder {
     /// Panic if the exploration exceeds this many executions instead of
     /// silently truncating coverage.
     pub max_branches: u64,
+    /// Explore atomics under the weak-memory (C11 fragment) backend
+    /// instead of promoting every ordering to SC. Overridden by the
+    /// `LOOM_WEAK_MEMORY` env var (`1`/`true` on, `0`/`false` off).
+    pub weak_memory: bool,
+    /// With weak memory on: how many of the newest stores in a
+    /// location's modification order a load may read from (the
+    /// read-from enumeration bound). Overridden by `LOOM_WEAK_HISTORY`.
+    pub weak_history: usize,
 }
 
 impl Default for Builder {
@@ -88,6 +107,8 @@ impl Default for Builder {
             max_preemptions: None,
             max_steps: 100_000,
             max_branches: 2_000_000,
+            weak_memory: false,
+            weak_history: 4,
         }
     }
 }
@@ -116,6 +137,20 @@ impl Builder {
         self
     }
 
+    /// Enables or disables the weak-memory backend (see
+    /// [`Builder::weak_memory`]).
+    pub fn weak_memory(mut self, on: bool) -> Self {
+        self.weak_memory = on;
+        self
+    }
+
+    /// Sets the read-from enumeration bound (see
+    /// [`Builder::weak_history`]).
+    pub fn weak_history(mut self, n: usize) -> Self {
+        self.weak_history = n;
+        self
+    }
+
     fn resolved(&self) -> Builder {
         let mut cfg = *self;
         if let Some(envp) = rt::env_u64("LOOM_MAX_PREEMPTIONS") {
@@ -123,6 +158,12 @@ impl Builder {
         }
         if let Some(envb) = rt::env_u64("LOOM_MAX_BRANCHES") {
             cfg.max_branches = envb;
+        }
+        if let Ok(v) = std::env::var("LOOM_WEAK_MEMORY") {
+            cfg.weak_memory = matches!(v.trim(), "1" | "true" | "on" | "yes");
+        }
+        if let Some(envh) = rt::env_u64("LOOM_WEAK_HISTORY") {
+            cfg.weak_history = (envh as usize).max(1);
         }
         cfg
     }
@@ -159,6 +200,7 @@ impl Builder {
         let cfg = rt::Config {
             max_preemptions: self.max_preemptions,
             max_steps: self.max_steps,
+            weak: self.weak_memory.then_some(self.weak_history.max(1)),
         };
         let mut decisions = Vec::new();
         let mut executions = 0u64;

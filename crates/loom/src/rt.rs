@@ -27,8 +27,42 @@
 //!   unfinished threads remain (everyone blocked, or every spinner waits
 //!   on a write that no live thread can perform), the execution aborts
 //!   and the schedule is reported: this is how lost wakeups surface.
+//!
+//! ## Weak memory (opt-in)
+//!
+//! With [`Config::weak`] set, atomics are additionally tracked under an
+//! operational C11 fragment instead of being promoted to SC:
+//!
+//! * every location carries a **modification order** — the append order
+//!   of its stores, each paired with the *message view* it released;
+//! * every thread carries an **acquired view**: per location, the oldest
+//!   modification-order timestamp it may still read. A load picks its
+//!   store from the (bounded) suffix of the modification order at or
+//!   after the view — each such choice is a [`Decision`] explored by the
+//!   same DFS that explores schedules;
+//! * acquire-class loads join the chosen store's message view; release-
+//!   class stores deposit the storing thread's view as their message; an
+//!   RMW's message also carries forward the message of the store it read
+//!   (release sequences survive intervening relaxed RMWs);
+//! * `SeqCst` accesses additionally synchronize through a single global
+//!   `sc_view`, which is what forbids the store-buffering and IRIW
+//!   splits that plain release/acquire allows;
+//! * `Mutex`/`Condvar` hand-offs and `spawn`/`join` contribute their
+//!   happens-before edges through per-primitive release views.
+//!
+//! A spinner re-scheduled after a write reads the modification-order
+//! maximum on its next load (the `fresh` flag): pruning the still-stale
+//! re-reads is the weak-memory analogue of yield demotion, and keeps
+//! spin loops from diverging into unboundedly many stale branches.
+//!
+//! Deliberate under-approximations (documented in the crate docs): no
+//! fences (the workspace uses none), bounded read-from enumeration,
+//! load-buffering outcomes requiring cycles are never produced, and a
+//! location's history is keyed by address (reusing a freed atomic's
+//! address within one execution would splice histories).
 
 use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::panic::Location;
 use std::sync::mpsc::{channel, Sender};
@@ -87,18 +121,94 @@ struct ThreadState {
     last_site: &'static Location<'static>,
 }
 
-/// One recorded scheduling decision: which thread, out of which options.
+/// One recorded decision: which option, out of which set. The DFS
+/// driver treats thread choices and (weak-memory) read-from choices
+/// uniformly — both are branches of the same exploration tree.
 #[derive(Debug)]
 pub(crate) struct Decision {
-    options: Vec<Tid>,
+    options: Opts,
     index: usize,
+}
+
+/// The option set a [`Decision`] ranges over.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Opts {
+    /// Schedulable threads at a schedule point.
+    Threads(Vec<Tid>),
+    /// Candidate modification-order timestamps for a weak-memory load,
+    /// newest first (index 0 = the SC-like choice).
+    ReadFrom(Vec<usize>),
+}
+
+impl Opts {
+    fn len(&self) -> usize {
+        match self {
+            Opts::Threads(v) => v.len(),
+            Opts::ReadFrom(v) => v.len(),
+        }
+    }
+}
+
+/// What a trace line records was picked.
+enum Choice {
+    Thread(Tid),
+    ReadFrom { ts: usize, latest: usize },
 }
 
 struct TraceEntry {
     tid: Tid,
     op: &'static str,
     site: &'static Location<'static>,
-    chosen: Tid,
+    chosen: Choice,
+}
+
+/// A view: per location, the latest modification-order timestamp known.
+/// Used both as a thread's acquired view and as a store's message.
+type View = BTreeMap<usize, usize>;
+
+/// Pointwise maximum: `dst` learns everything `src` knows.
+fn join_view(dst: &mut View, src: &View) {
+    for (&addr, &ts) in src {
+        let e = dst.entry(addr).or_insert(0);
+        *e = (*e).max(ts);
+    }
+}
+
+/// One store in a location's modification order.
+struct StoreEvent {
+    /// The stored value, as raw bits.
+    val: u64,
+    /// The release view an acquire-class load of this store joins.
+    msg: View,
+}
+
+/// Weak-memory state for one execution (present iff `Config::weak`).
+struct WeakMem {
+    /// Per-location modification order; index = timestamp. Entry 0 is
+    /// seeded from the std atomic's value at the location's first
+    /// tracked access.
+    history: HashMap<usize, Vec<StoreEvent>>,
+    /// Per-thread acquired views.
+    views: Vec<View>,
+    /// The view every `SeqCst` access synchronizes through; joining it
+    /// forward (stores) and backward (loads) realizes the single total
+    /// order S of C11 §32.4 closely enough to forbid SB/IRIW splits.
+    sc_view: View,
+    /// Release views deposited by Mutex/Condvar hand-offs, keyed by
+    /// primitive address.
+    sync_views: HashMap<usize, View>,
+    /// Per-thread flag set when a yielded spinner is re-scheduled after
+    /// a write: its next load reads the modification-order maximum
+    /// (stale re-reads of a spin word are pruned, mirroring yield
+    /// demotion).
+    fresh: Vec<bool>,
+    /// Per-thread flag: the thread's last weak load chose a non-latest
+    /// store. A spinner stranded by such a read (every other thread
+    /// done) is promoted once with `fresh` set instead of being
+    /// reported stuck — modelling eventual value propagation.
+    stale: Vec<bool>,
+    /// Maximum read-from candidates enumerated per load.
+    bound: usize,
 }
 
 struct ExecInner {
@@ -115,6 +225,8 @@ struct ExecInner {
     live: usize,
     /// OS worker jobs that have not yet returned.
     workers: usize,
+    /// Weak-memory tracking, when enabled.
+    weak: Option<WeakMem>,
 }
 
 /// Configuration knobs, resolved by [`crate::Builder`].
@@ -122,6 +234,9 @@ struct ExecInner {
 pub(crate) struct Config {
     pub(crate) max_preemptions: Option<u32>,
     pub(crate) max_steps: u64,
+    /// `Some(bound)` enables the weak-memory backend with this many
+    /// read-from candidates per load; `None` keeps every atomic SC.
+    pub(crate) weak: Option<usize>,
 }
 
 /// One execution (a single schedule) of the model closure.
@@ -164,6 +279,15 @@ impl Execution {
                 abort: None,
                 live: 1,
                 workers: 1,
+                weak: config.weak.map(|bound| WeakMem {
+                    history: HashMap::new(),
+                    views: vec![View::new()],
+                    sc_view: View::new(),
+                    sync_views: HashMap::new(),
+                    fresh: vec![false],
+                    stale: vec![false],
+                    bound: bound.max(1),
+                }),
             }),
             cv: StdCondvar::new(),
             config,
@@ -259,6 +383,26 @@ impl Execution {
             })
             .collect();
         if options.is_empty() {
+            // A weak-memory spinner can strand itself on a stale read
+            // with no writer left to promote it; on real hardware the
+            // final store eventually propagates. Promote such threads
+            // once with `fresh` set (the next load reads the mo
+            // maximum) — a spin that is stuck even on the latest value
+            // still deadlocks on the next pass.
+            if g.weak.is_some() {
+                for i in 0..g.threads.len() {
+                    let yielded = matches!(g.threads[i].status, Status::Yielded { .. });
+                    let w = g.weak.as_mut().unwrap();
+                    if yielded && w.stale[i] {
+                        w.stale[i] = false;
+                        w.fresh[i] = true;
+                        g.threads[i].status = Status::Runnable;
+                        options.push(i);
+                    }
+                }
+            }
+        }
+        if options.is_empty() {
             let msg = format!(
                 "deadlock: no schedulable thread ({} alive)\n{}",
                 g.live,
@@ -281,14 +425,21 @@ impl Execution {
         let chosen = if g.depth < g.decisions.len() {
             let d = &g.decisions[g.depth];
             assert_eq!(
-                d.options, options,
+                d.options,
+                Opts::Threads(options),
                 "nondeterministic model: replay diverged at depth {}",
                 g.depth
             );
-            d.options[d.index]
+            match &d.options {
+                Opts::Threads(opts) => opts[d.index],
+                Opts::ReadFrom(_) => unreachable!("asserted equal above"),
+            }
         } else {
             let first = options[0];
-            g.decisions.push(Decision { options, index: 0 });
+            g.decisions.push(Decision {
+                options: Opts::Threads(options),
+                index: 0,
+            });
             first
         };
         g.depth += 1;
@@ -296,13 +447,18 @@ impl Execution {
             tid,
             op,
             site,
-            chosen,
+            chosen: Choice::Thread(chosen),
         });
         if !voluntary && chosen != tid {
             g.preemptions += 1;
         }
         if let Status::Yielded { .. } = g.threads[chosen].status {
             g.threads[chosen].status = Status::Runnable;
+            // A promoted spinner was woken by a write: its next weak
+            // load must observe it (stale re-reads are pruned).
+            if let Some(w) = &mut g.weak {
+                w.fresh[chosen] = true;
+            }
         }
         g.active = chosen;
         self.cv.notify_all();
@@ -345,6 +501,15 @@ impl Execution {
         });
         g.live += 1;
         g.workers += 1;
+        // spawn happens-before the child's first step: the child starts
+        // with everything its parent has acquired.
+        let parent = g.active;
+        if let Some(w) = &mut g.weak {
+            let v = w.views[parent].clone();
+            w.views.push(v);
+            w.fresh.push(false);
+            w.stale.push(false);
+        }
         tid
     }
 
@@ -374,7 +539,18 @@ impl Execution {
     }
 
     fn is_finished(&self, tid: Tid) -> bool {
-        self.inner.lock().unwrap().threads[tid].status == Status::Finished
+        let mut g = self.inner.lock().unwrap();
+        let done = g.threads[tid].status == Status::Finished;
+        if done {
+            // join: everything the finished thread did happens-before
+            // the joiner's continuation.
+            let joiner = g.active;
+            if let Some(w) = &mut g.weak {
+                let child = w.views[tid].clone();
+                join_view(&mut w.views[joiner], &child);
+            }
+        }
+        done
     }
 
     /// A worker's job ended (normally or by panic).
@@ -383,6 +559,196 @@ impl Execution {
         g.workers -= 1;
         if g.workers == 0 {
             self.cv.notify_all();
+        }
+    }
+
+    // -- weak memory ------------------------------------------------------
+
+    /// Weak-memory load: pick (replay or branch) which store in `addr`'s
+    /// modification order to read. `None` when weak memory is off or the
+    /// execution is tearing down — the caller falls back to the SC path.
+    fn weak_load(
+        self: &Arc<Self>,
+        tid: Tid,
+        addr: usize,
+        init: u64,
+        class: OrdClass,
+        op: &'static str,
+        site: &'static Location<'static>,
+    ) -> Option<u64> {
+        let mut g = self.inner.lock().unwrap();
+        if g.abort.is_some() || g.weak.is_none() {
+            return None;
+        }
+        let w = g.weak.as_mut().unwrap();
+        seed(&mut w.history, addr, init);
+        if class == OrdClass::SeqCst {
+            // An SC load reads no store older than the last SC store to
+            // this location: joining the SC view raises the floor first.
+            let sc = w.sc_view.clone();
+            join_view(&mut w.views[tid], &sc);
+        }
+        let latest = w.history[&addr].len() - 1;
+        let floor = if std::mem::take(&mut w.fresh[tid]) {
+            latest
+        } else {
+            w.views[tid].get(&addr).copied().unwrap_or(0)
+        };
+        let lo = floor.max((latest + 1).saturating_sub(w.bound));
+        let candidates: Vec<usize> = (lo..=latest).rev().collect();
+        let ts = if candidates.len() == 1 {
+            candidates[0]
+        } else {
+            let idx = if g.depth < g.decisions.len() {
+                let d = &g.decisions[g.depth];
+                assert_eq!(
+                    d.options,
+                    Opts::ReadFrom(candidates.clone()),
+                    "nondeterministic model: replay diverged at depth {}",
+                    g.depth
+                );
+                d.index
+            } else {
+                g.decisions.push(Decision {
+                    options: Opts::ReadFrom(candidates.clone()),
+                    index: 0,
+                });
+                0
+            };
+            g.depth += 1;
+            let ts = candidates[idx];
+            g.trace.push(TraceEntry {
+                tid,
+                op,
+                site,
+                chosen: Choice::ReadFrom { ts, latest },
+            });
+            ts
+        };
+        let w = g.weak.as_mut().unwrap();
+        w.stale[tid] = ts < latest;
+        if class.acquires() {
+            let msg = w.history[&addr][ts].msg.clone();
+            join_view(&mut w.views[tid], &msg);
+        }
+        let e = w.views[tid].entry(addr).or_insert(0);
+        *e = (*e).max(ts);
+        Some(w.history[&addr][ts].val)
+    }
+
+    /// Weak-memory store: append to `addr`'s modification order. Returns
+    /// whether the store was tracked; either way the caller performs the
+    /// std write-through, so the physical value stays the mo-maximum.
+    fn weak_store(&self, tid: Tid, addr: usize, init: u64, val: u64, class: OrdClass) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if g.abort.is_some() || g.weak.is_none() {
+            return false;
+        }
+        let w = g.weak.as_mut().unwrap();
+        seed(&mut w.history, addr, init);
+        if class == OrdClass::SeqCst {
+            let sc = w.sc_view.clone();
+            join_view(&mut w.views[tid], &sc);
+        }
+        let ts = w.history[&addr].len();
+        let mut msg = if class.releases() {
+            w.views[tid].clone()
+        } else {
+            View::new()
+        };
+        msg.insert(addr, ts);
+        w.history
+            .get_mut(&addr)
+            .unwrap()
+            .push(StoreEvent { val, msg });
+        w.views[tid].insert(addr, ts);
+        if class == OrdClass::SeqCst {
+            let v = w.views[tid].clone();
+            join_view(&mut w.sc_view, &v);
+        }
+        true
+    }
+
+    /// Weak-memory RMW bookkeeping. The caller has already performed the
+    /// std operation (serialized, and the physical value equals the
+    /// modification-order maximum), passing the observed `old` bits and
+    /// the stored bits — `None` for a failed compare-exchange, which is
+    /// a load with the failure ordering.
+    fn weak_rmw(
+        &self,
+        tid: Tid,
+        addr: usize,
+        old: u64,
+        new: Option<u64>,
+        success: OrdClass,
+        failure: OrdClass,
+    ) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if g.abort.is_some() || g.weak.is_none() {
+            return false;
+        }
+        let w = g.weak.as_mut().unwrap();
+        seed(&mut w.history, addr, old);
+        let class = if new.is_some() { success } else { failure };
+        let ts_old = w.history[&addr].len() - 1;
+        // An RMW (even a failed CAS) reads the mo maximum: stores write
+        // through, so the serialized std value is always the newest.
+        w.stale[tid] = false;
+        if class == OrdClass::SeqCst {
+            let sc = w.sc_view.clone();
+            join_view(&mut w.views[tid], &sc);
+        }
+        if class.acquires() {
+            let msg = w.history[&addr][ts_old].msg.clone();
+            join_view(&mut w.views[tid], &msg);
+        }
+        {
+            let e = w.views[tid].entry(addr).or_insert(0);
+            *e = (*e).max(ts_old);
+        }
+        if let Some(val) = new {
+            let ts = ts_old + 1;
+            // An RMW extends the release sequence of the store it read:
+            // its message carries that store's message forward even when
+            // the RMW itself is relaxed.
+            let mut msg = w.history[&addr][ts_old].msg.clone();
+            if class.releases() {
+                let v = w.views[tid].clone();
+                join_view(&mut msg, &v);
+            }
+            msg.insert(addr, ts);
+            w.history
+                .get_mut(&addr)
+                .unwrap()
+                .push(StoreEvent { val, msg });
+            w.views[tid].insert(addr, ts);
+            if class == OrdClass::SeqCst {
+                let v = w.views[tid].clone();
+                join_view(&mut w.sc_view, &v);
+            }
+        }
+        true
+    }
+
+    /// The calling thread acquired the sync primitive at `addr`: join
+    /// the release view its last holder deposited.
+    fn sync_acquire_at(&self, tid: Tid, addr: usize) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(w) = &mut g.weak {
+            if let Some(v) = w.sync_views.get(&addr) {
+                let v = v.clone();
+                join_view(&mut w.views[tid], &v);
+            }
+        }
+    }
+
+    /// The calling thread is releasing the sync primitive at `addr`:
+    /// deposit everything it has acquired for the next holder.
+    fn sync_release_at(&self, tid: Tid, addr: usize) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(w) = &mut g.weak {
+            let v = w.views[tid].clone();
+            join_view(w.sync_views.entry(addr).or_default(), &v);
         }
     }
 
@@ -402,6 +768,62 @@ impl Execution {
             g.abort = Some(msg);
         }
         self.cv.notify_all();
+    }
+}
+
+/// Seed a location's modification order from the std atomic's current
+/// value at its first tracked access.
+fn seed(history: &mut HashMap<usize, Vec<StoreEvent>>, addr: usize, init: u64) {
+    history.entry(addr).or_insert_with(|| {
+        vec![StoreEvent {
+            val: init,
+            msg: View::new(),
+        }]
+    });
+}
+
+/// Memory-ordering class of a weak-memory access, mapped from
+/// `std::sync::atomic::Ordering` by the facade types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OrdClass {
+    /// No synchronization; only coherence.
+    Relaxed,
+    /// Load side of a synchronizes-with edge.
+    Acquire,
+    /// Store side of a synchronizes-with edge.
+    Release,
+    /// Both sides (RMWs).
+    AcqRel,
+    /// Additionally ordered by the single SC total order.
+    SeqCst,
+}
+
+impl OrdClass {
+    fn acquires(self) -> bool {
+        matches!(
+            self,
+            OrdClass::Acquire | OrdClass::AcqRel | OrdClass::SeqCst
+        )
+    }
+
+    fn releases(self) -> bool {
+        matches!(
+            self,
+            OrdClass::Release | OrdClass::AcqRel | OrdClass::SeqCst
+        )
+    }
+}
+
+/// Map a std `Ordering` to its class. `Ordering` is `#[non_exhaustive]`;
+/// anything unrecognized is treated as `SeqCst` (the safe direction).
+pub(crate) fn ord_class(order: std::sync::atomic::Ordering) -> OrdClass {
+    use std::sync::atomic::Ordering as O;
+    match order {
+        O::Relaxed => OrdClass::Relaxed,
+        O::Acquire => OrdClass::Acquire,
+        O::Release => OrdClass::Release,
+        O::AcqRel => OrdClass::AcqRel,
+        _ => OrdClass::SeqCst,
     }
 }
 
@@ -433,14 +855,18 @@ fn render_trace(trace: &[TraceEntry]) -> String {
         }
     );
     for e in &trace[skip..] {
+        let chosen = match e.chosen {
+            Choice::Thread(t) => format!("t{t}"),
+            Choice::ReadFrom { ts, latest } => format!("reads mo#{ts}/{latest}"),
+        };
         let _ = writeln!(
             out,
-            "  t{} {:<24} {}:{} -> t{}",
+            "  t{} {:<24} {}:{} -> {}",
             e.tid,
             e.op,
             e.site.file(),
             e.site.line(),
-            e.chosen
+            chosen
         );
     }
     out
@@ -512,6 +938,60 @@ pub(crate) fn wake_all(target: WaitTarget) {
 pub(crate) fn wake_one(target: WaitTarget) {
     if let Some(c) = ctx() {
         c.exec.wake_one(target);
+    }
+}
+
+/// Weak-memory load of the atomic at `addr`, whose std value is `init`.
+/// `None` outside a model or when weak memory is off — the caller falls
+/// back to the SC std path.
+pub(crate) fn weak_load(
+    addr: usize,
+    init: u64,
+    class: OrdClass,
+    op: &'static str,
+    site: &'static Location<'static>,
+) -> Option<u64> {
+    let c = ctx()?;
+    c.exec.weak_load(c.tid, addr, init, class, op, site)
+}
+
+/// Weak-memory store tracking; see [`Execution::weak_store`]. The caller
+/// always performs the std write-through afterwards.
+pub(crate) fn weak_store(addr: usize, init: u64, val: u64, class: OrdClass) -> bool {
+    match ctx() {
+        Some(c) => c.exec.weak_store(c.tid, addr, init, val, class),
+        None => false,
+    }
+}
+
+/// Weak-memory RMW tracking; see [`Execution::weak_rmw`]. The caller has
+/// already performed the std operation.
+pub(crate) fn weak_rmw(
+    addr: usize,
+    old: u64,
+    new: Option<u64>,
+    success: OrdClass,
+    failure: OrdClass,
+) -> bool {
+    match ctx() {
+        Some(c) => c.exec.weak_rmw(c.tid, addr, old, new, success, failure),
+        None => false,
+    }
+}
+
+/// Happens-before edge into the calling thread from the last release of
+/// the sync primitive at `addr` (mutex acquisition, condvar re-lock).
+pub(crate) fn sync_acquire(addr: usize) {
+    if let Some(c) = ctx() {
+        c.exec.sync_acquire_at(c.tid, addr);
+    }
+}
+
+/// Happens-before edge out of the calling thread through the sync
+/// primitive at `addr` (mutex release, condvar wait-release).
+pub(crate) fn sync_release(addr: usize) {
+    if let Some(c) = ctx() {
+        c.exec.sync_release_at(c.tid, addr);
     }
 }
 

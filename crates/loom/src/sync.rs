@@ -66,6 +66,7 @@ impl<T: ?Sized> Mutex<T> {
                 .compare_exchange(false, true, SeqCst, SeqCst)
                 .is_ok()
             {
+                rt::sync_acquire(self.addr());
                 return MutexGuard { lock: self };
             }
             if !rt::in_model() {
@@ -92,6 +93,7 @@ impl<T: ?Sized> Mutex<T> {
             .compare_exchange(false, true, SeqCst, SeqCst)
             .is_ok()
         {
+            rt::sync_acquire(self.addr());
             Some(MutexGuard { lock: self })
         } else {
             None
@@ -147,6 +149,7 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
         rt::schedule("Mutex::unlock", true, Location::caller());
+        rt::sync_release(self.lock.addr());
         self.lock.locked.store(false, SeqCst);
         rt::wake_all(WaitTarget::Mutex(self.lock.addr()));
     }
@@ -191,6 +194,7 @@ impl Condvar {
         // store and the block below, the wait is atomic w.r.t. the
         // scheduler and no notification can slip through unseen.
         rt::schedule("Condvar::wait (release)", true, site);
+        rt::sync_release(mutex.addr());
         mutex.locked.store(false, SeqCst);
         rt::wake_all(WaitTarget::Mutex(mutex.addr()));
         rt::block_on(WaitTarget::Condvar(self.addr()), "Condvar::wait", site);
@@ -202,6 +206,7 @@ impl Condvar {
                 .compare_exchange(false, true, SeqCst, SeqCst)
                 .is_ok()
             {
+                rt::sync_acquire(mutex.addr());
                 return;
             }
             rt::block_on(

@@ -25,7 +25,9 @@
 //! identical operation streams and demand identical responses; the
 //! `waitfree` criterion bench shows the asymptotic difference.
 
-use kex_util::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicPtr, AtomicUsize};
+
+use crate::ordering::SEQ_CST;
 use kex_util::sync::Mutex;
 
 use crate::consensus::PtrConsensus;
@@ -103,7 +105,7 @@ impl<S: Sequential + Clone> CachedUniversal<S> {
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "need at least one process");
         let tail = Node::new(None);
-        unsafe { (*tail).seq.store(1, SeqCst) };
+        unsafe { (*tail).seq.store(1, SEQ_CST) };
         CachedUniversal {
             announce: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
             head: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
@@ -120,10 +122,10 @@ impl<S: Sequential + Clone> CachedUniversal<S> {
 
     fn max_head(&self) -> *mut Node<S> {
         let mut best = self.tail;
-        let mut best_seq = unsafe { (*best).seq.load(SeqCst) };
+        let mut best_seq = unsafe { (*best).seq.load(SEQ_CST) };
         for h in &self.head {
-            let node = h.load(SeqCst);
-            let seq = unsafe { (*node).seq.load(SeqCst) };
+            let node = h.load(SEQ_CST);
+            let seq = unsafe { (*node).seq.load(SEQ_CST) };
             if seq > best_seq {
                 best = node;
                 best_seq = seq;
@@ -140,30 +142,30 @@ impl<S: Sequential + Clone> CachedUniversal<S> {
     pub fn apply(&self, me: usize, op: S::Op) -> S::Resp {
         assert!(me < self.k, "name {me} out of range 0..{}", self.k);
         let mine = Node::new(Some(op));
-        self.announce[me].store(mine, SeqCst);
-        self.head[me].store(self.max_head(), SeqCst);
+        self.announce[me].store(mine, SEQ_CST);
+        self.head[me].store(self.max_head(), SEQ_CST);
 
         unsafe {
             // Identical wait-free threading loop to `Universal`.
-            while (*mine).seq.load(SeqCst) == 0 {
-                let before = self.head[me].load(SeqCst);
-                let before_seq = (*before).seq.load(SeqCst);
-                let help = self.announce[before_seq % self.k].load(SeqCst);
-                let prefer = if (*help).seq.load(SeqCst) == 0 {
+            while (*mine).seq.load(SEQ_CST) == 0 {
+                let before = self.head[me].load(SEQ_CST);
+                let before_seq = (*before).seq.load(SEQ_CST);
+                let help = self.announce[before_seq % self.k].load(SEQ_CST);
+                let prefer = if (*help).seq.load(SEQ_CST) == 0 {
                     help
                 } else {
                     mine
                 };
                 let after = (*before).decide_next.decide(prefer);
-                (*after).seq.store(before_seq + 1, SeqCst);
-                self.head[me].store(after, SeqCst);
+                (*after).seq.store(before_seq + 1, SEQ_CST);
+                self.head[me].store(after, SEQ_CST);
             }
-            self.head[me].store(mine, SeqCst);
+            self.head[me].store(mine, SEQ_CST);
 
             // Resume from this name's cache instead of the sentinel.
             let mut guard = self.caches[me].lock();
             let (mut cur, mut state) = match guard.take() {
-                Some(cache) if (*cache.node).seq.load(SeqCst) <= (*mine).seq.load(SeqCst) => {
+                Some(cache) if (*cache.node).seq.load(SEQ_CST) <= (*mine).seq.load(SEQ_CST) => {
                     (cache.node, cache.state)
                 }
                 _ => (self.tail, S::default()),

@@ -6,7 +6,9 @@
 //! returns the stored winner. This module wraps that idiom with a safe
 //! API and documents the protocol obligations.
 
-use kex_util::sync::atomic::{AtomicPtr, Ordering::SeqCst};
+use kex_util::sync::atomic::AtomicPtr;
+
+use crate::ordering::SEQ_CST;
 
 /// A single-shot, wait-free, `n`-process consensus object deciding a
 /// non-null raw pointer.
@@ -37,7 +39,7 @@ impl<T> PtrConsensus<T> {
         debug_assert!(!value.is_null(), "consensus proposals must be non-null");
         match self
             .cell
-            .compare_exchange(std::ptr::null_mut(), value, SeqCst, SeqCst)
+            .compare_exchange(std::ptr::null_mut(), value, SEQ_CST, SEQ_CST)
         {
             Ok(_) => value,
             Err(winner) => winner,
@@ -46,7 +48,7 @@ impl<T> PtrConsensus<T> {
 
     /// The decided value, or null if undecided.
     pub fn peek(&self) -> *mut T {
-        self.cell.load(SeqCst)
+        self.cell.load(SEQ_CST)
     }
 }
 

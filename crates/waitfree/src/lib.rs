@@ -30,6 +30,7 @@
 pub mod cached;
 pub mod consensus;
 pub mod counter;
+mod ordering;
 pub mod queue;
 pub mod register;
 pub mod seq;

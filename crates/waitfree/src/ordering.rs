@@ -1,0 +1,15 @@
+//! Named ordering constant for the wait-free layer.
+//!
+//! Mirrors `kex_core::native::ordering`: every non-test atomic access
+//! in this crate names its ordering through a constant defined here
+//! instead of spelling a literal `Ordering::*`, so the kex-lint
+//! ordering-policy pass can audit the crate the same way it audits the
+//! native hot paths. The wait-free constructions are uniformly SeqCst
+//! by design — helping protocols race on shared cells (announce
+//! arrays, consensus objects, versioned pointers) in patterns none of
+//! the weaker orders license — so there is exactly one constant.
+
+use kex_util::sync::atomic::Ordering;
+
+/// The single ordering the wait-free layer uses.
+pub(crate) const SEQ_CST: Ordering = Ordering::SeqCst;

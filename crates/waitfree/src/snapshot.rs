@@ -20,7 +20,9 @@
 //! Like everything in this crate, the object serves processes named
 //! `0..k` — the identities handed out by the k-assignment wrapper.
 
-use kex_util::sync::atomic::{AtomicPtr, Ordering::SeqCst};
+use kex_util::sync::atomic::AtomicPtr;
+
+use crate::ordering::SEQ_CST;
 
 use kex_util::sync::Mutex;
 
@@ -88,7 +90,7 @@ impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
     /// Safe while `&self` is alive: cells are retired, never freed,
     /// until `Drop` (which requires exclusive ownership).
     fn cell(&self, i: usize) -> &Cell<T> {
-        unsafe { &*self.regs[i].load(SeqCst) }
+        unsafe { &*self.regs[i].load(SEQ_CST) }
     }
 
     /// Collect `(seq, value)` of every register (one pass, not atomic).
@@ -140,7 +142,7 @@ impl<T: Clone + Default + Send + Sync + 'static> Snapshot<T> {
         let view = self.scan();
         let seq = self.cell(me).seq + 1;
         let new = Box::into_raw(Box::new(Cell { value, seq, view }));
-        let prev = self.regs[me].swap(new, SeqCst);
+        let prev = self.regs[me].swap(new, SEQ_CST);
         self.retired.lock().push(prev);
     }
 
@@ -156,7 +158,7 @@ impl<T> Drop for Snapshot<T> {
     fn drop(&mut self) {
         // Exclusive access: no reader can hold a cell reference now.
         for r in &self.regs {
-            let p = r.swap(std::ptr::null_mut(), SeqCst);
+            let p = r.swap(std::ptr::null_mut(), SEQ_CST);
             if !p.is_null() {
                 drop(unsafe { Box::from_raw(p) });
             }

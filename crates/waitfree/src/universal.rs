@@ -24,7 +24,9 @@
 //!   operation (the log is the object's history and must stay readable
 //!   by laggards).
 
-use kex_util::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use kex_util::sync::atomic::{AtomicPtr, AtomicUsize};
+
+use crate::ordering::SEQ_CST;
 
 use crate::consensus::PtrConsensus;
 use crate::seq::Sequential;
@@ -99,7 +101,7 @@ impl<S: Sequential> Universal<S> {
         assert!(k >= 1, "need at least one process");
         let tail = Node::new(None);
         // The sentinel occupies log position 1.
-        unsafe { (*tail).seq.store(1, SeqCst) };
+        unsafe { (*tail).seq.store(1, SEQ_CST) };
         Universal {
             announce: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
             head: (0..k).map(|_| AtomicPtr::new(tail)).collect(),
@@ -117,10 +119,10 @@ impl<S: Sequential> Universal<S> {
     /// heads (every threaded node is reachable from it via `next`).
     fn max_head(&self) -> *mut Node<S> {
         let mut best = self.tail;
-        let mut best_seq = unsafe { (*best).seq.load(SeqCst) };
+        let mut best_seq = unsafe { (*best).seq.load(SEQ_CST) };
         for h in &self.head {
-            let node = h.load(SeqCst);
-            let seq = unsafe { (*node).seq.load(SeqCst) };
+            let node = h.load(SEQ_CST);
+            let seq = unsafe { (*node).seq.load(SEQ_CST) };
             if seq > best_seq {
                 best = node;
                 best_seq = seq;
@@ -141,26 +143,26 @@ impl<S: Sequential> Universal<S> {
     pub fn apply(&self, me: usize, op: S::Op) -> S::Resp {
         assert!(me < self.k, "name {me} out of range 0..{}", self.k);
         let mine = Node::new(Some(op));
-        self.announce[me].store(mine, SeqCst);
-        self.head[me].store(self.max_head(), SeqCst);
+        self.announce[me].store(mine, SEQ_CST);
+        self.head[me].store(self.max_head(), SEQ_CST);
 
         unsafe {
-            while (*mine).seq.load(SeqCst) == 0 {
-                let before = self.head[me].load(SeqCst);
-                let before_seq = (*before).seq.load(SeqCst);
+            while (*mine).seq.load(SEQ_CST) == 0 {
+                let before = self.head[me].load(SEQ_CST);
+                let before_seq = (*before).seq.load(SEQ_CST);
                 // Help the process whose turn it is; otherwise push our
                 // own node.
-                let help = self.announce[before_seq % self.k].load(SeqCst);
-                let prefer = if (*help).seq.load(SeqCst) == 0 {
+                let help = self.announce[before_seq % self.k].load(SEQ_CST);
+                let prefer = if (*help).seq.load(SEQ_CST) == 0 {
                     help
                 } else {
                     mine
                 };
                 let after = (*before).decide_next.decide(prefer);
-                (*after).seq.store(before_seq + 1, SeqCst);
-                self.head[me].store(after, SeqCst);
+                (*after).seq.store(before_seq + 1, SEQ_CST);
+                self.head[me].store(after, SEQ_CST);
             }
-            self.head[me].store(mine, SeqCst);
+            self.head[me].store(mine, SEQ_CST);
 
             // Replay the log up to (and including) our node, following
             // the decided successor chain (complete by construction).
@@ -184,7 +186,7 @@ impl<S: Sequential> Universal<S> {
         let mut state = S::default();
         unsafe {
             let stop = self.max_head();
-            if (*stop).seq.load(SeqCst) <= 1 {
+            if (*stop).seq.load(SEQ_CST) <= 1 {
                 return state;
             }
             let mut cur = (*self.tail).decide_next.peek();
