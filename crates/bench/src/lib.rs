@@ -27,6 +27,7 @@ pub mod contend;
 pub mod harness;
 pub mod microbench;
 pub mod report;
+pub mod store_load;
 
 pub use harness::{measure, Measurement, Workload};
 pub use report::JsonSink;

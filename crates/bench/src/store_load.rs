@@ -1,0 +1,183 @@
+//! Skewed-workload generation for the `store` binary (EXPERIMENTS.md
+//! E13): a Zipfian key sampler and per-thread deterministic RNG
+//! streams.
+//!
+//! The sampler precomputes the normalized CDF of `P(rank) ∝ 1/rank^s`
+//! once and answers each draw with a binary search — ~`log2(keys)`
+//! float compares, cheap next to a store operation — so the generator
+//! never becomes the bottleneck being measured. Key ids are the ranks
+//! themselves: the store's seeded routing hash already de-correlates
+//! rank from shard, so the hottest keys land on different shards
+//! without an extra permutation (asserted by the routing tests in
+//! `kex-store`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kex_util::CachePadded;
+
+/// SplitMix64 finalizer (same mixer as `kex_util::rng::SmallRng`).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A Zipf(`s`) sampler over ranks `0..keys` via inverse-CDF lookup.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precompute the CDF for `keys` ranks with exponent `s >= 0`
+    /// (`s = 0` degenerates to uniform).
+    pub fn new(keys: usize, s: f64) -> Self {
+        assert!(keys >= 1, "need at least one key");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(keys);
+        let mut acc = 0.0f64;
+        for rank in 1..=keys {
+            acc += (rank as f64).powf(s).recip();
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The rank (= key id) for a uniform draw `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> u64 {
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1) as u64
+    }
+
+    /// Probability mass of rank 0 (the hottest key) — reported in the
+    /// benchmark document so skew is self-describing.
+    pub fn hottest_mass(&self) -> f64 {
+        self.cdf[0]
+    }
+}
+
+/// Deterministic per-thread RNG streams usable from a `Fn(usize) + Sync`
+/// benchmark closure: one padded atomic SplitMix64 state per thread,
+/// advanced with an uncontended relaxed `fetch_add` (each thread only
+/// touches its own line).
+#[derive(Debug)]
+pub struct ThreadRngs {
+    states: Vec<CachePadded<AtomicU64>>,
+}
+
+impl ThreadRngs {
+    /// `threads` streams derived from `seed`.
+    pub fn new(threads: usize, seed: u64) -> Self {
+        ThreadRngs {
+            states: (0..threads as u64)
+                .map(|t| {
+                    CachePadded::new(AtomicU64::new(mix64(
+                        seed.wrapping_add(GOLDEN.wrapping_mul(t + 1)),
+                    )))
+                })
+                .collect(),
+        }
+    }
+
+    /// Next raw 64-bit draw for thread `t`.
+    pub fn next(&self, t: usize) -> u64 {
+        let z = self.states[t].fetch_add(GOLDEN, Ordering::Relaxed);
+        mix64(z)
+    }
+
+    /// Next uniform draw in `[0, 1)` for thread `t`.
+    pub fn uniform(&self, t: usize) -> f64 {
+        (self.next(t) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut prev = 0.0;
+        for rank in 0..1000 {
+            let u = (rank as f64 + 0.5) / 1000.0;
+            let _ = z.sample(u);
+        }
+        for &c in &z.cdf {
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let z = ZipfSampler::new(4096, 0.99);
+        // Rank 0 of Zipf(0.99) over 4096 keys carries ~10% of the mass.
+        assert!(z.hottest_mass() > 0.05, "hottest = {}", z.hottest_mass());
+        let rngs = ThreadRngs::new(1, 7);
+        let mut hot = 0u32;
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            if z.sample(rngs.uniform(0)) < 10 {
+                hot += 1;
+            }
+        }
+        // Top-10 ranks should absorb a large plurality of draws.
+        assert!(hot > DRAWS / 5, "only {hot}/{DRAWS} draws hit the top 10");
+    }
+
+    #[test]
+    fn uniform_exponent_is_not_skewed() {
+        let z = ZipfSampler::new(100, 0.0);
+        let rngs = ThreadRngs::new(1, 11);
+        let mut hot = 0u32;
+        for _ in 0..10_000 {
+            if z.sample(rngs.uniform(0)) == 0 {
+                hot += 1;
+            }
+        }
+        // P(rank 0) = 1/100; allow wide slack.
+        assert!(hot < 400, "uniform draw hit rank 0 {hot}/10000 times");
+    }
+
+    #[test]
+    fn samples_cover_the_range_and_stay_in_bounds() {
+        let z = ZipfSampler::new(64, 1.2);
+        let rngs = ThreadRngs::new(2, 3);
+        let mut seen = [false; 64];
+        for _ in 0..50_000 {
+            let rank = z.sample(rngs.uniform(0)) as usize;
+            assert!(rank < 64);
+            seen[rank] = true;
+        }
+        assert_eq!(z.sample(0.9999999), 63.min(z.keys() as u64 - 1));
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered > 48, "only {covered}/64 ranks ever drawn");
+    }
+
+    #[test]
+    fn thread_streams_are_deterministic_and_distinct() {
+        let a = ThreadRngs::new(2, 42);
+        let b = ThreadRngs::new(2, 42);
+        let first: Vec<u64> = (0..8).map(|_| a.next(0)).collect();
+        let again: Vec<u64> = (0..8).map(|_| b.next(0)).collect();
+        assert_eq!(first, again);
+        let other: Vec<u64> = (0..8).map(|_| b.next(1)).collect();
+        assert_ne!(again, other);
+    }
+}

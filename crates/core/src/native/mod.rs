@@ -57,7 +57,7 @@ pub use mcs::McsLock;
 pub use raw::{KexGuard, RawKex};
 pub use registry::{ProcessId, ProcessRegistry};
 pub use renaming::TasRenaming;
-pub use resilient::Resilient;
+pub use resilient::{Resilient, ResilientGuard};
 pub use semaphore::SemaphoreKex;
 pub use tree::{NativeBlockFactory, TreeKex};
 pub use yang_anderson::YangAndersonLock;

@@ -6,6 +6,17 @@
 //! hand. Ids are recycled when their [`ProcessId`] handle drops — safe
 //! because a departing thread is, by definition, in its noncritical
 //! section forever (a nonfaulty departure in the paper's model).
+//!
+//! **Known limitation (ROADMAP item 4, tracked):** a thread that
+//! crash-fails (or leaks its handle) while registered never returns its
+//! id — the registry *leaks the name*, exactly as a crashed process
+//! permanently consumes a slot and a name inside a k-assignment
+//! wrapper. The paper's model makes this the intended semantics for
+//! in-protocol crashes, but for a long-running service a *recoverable*
+//! variant (fenced reclamation of ids whose owning thread is provably
+//! gone, per the recoverable-mutual-exclusion line in PAPERS.md) would
+//! let the universe heal. Until that lands, size `n` with headroom for
+//! the expected crash budget, as `kex-store` does per shard.
 
 use kex_util::sync::atomic::AtomicBool;
 use std::sync::Arc;

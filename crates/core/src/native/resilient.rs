@@ -11,8 +11,11 @@
 //! wait-free whenever contention is at most `k`**, at a fraction of the
 //! cost of an `N`-process wait-free construction.
 
-use super::assignment::KAssignment;
+use super::assignment::{KAssignment, NameGuard};
+use super::ordering as ord;
 use super::raw::RawKex;
+use kex_util::sync::atomic::AtomicUsize;
+use kex_util::CachePadded;
 
 /// A `(k-1)`-resilient wrapper around a `k`-process object.
 ///
@@ -35,6 +38,15 @@ use super::raw::RawKex;
 /// ```
 pub struct Resilient<O> {
     assign: KAssignment,
+    /// Admission tickets outstanding: every process between taking a
+    /// ticket (start of [`Resilient::enter`]) and dropping its guard.
+    /// Over-counts actual slot holders by the processes still spinning
+    /// in the k-exclusion entry section — which only happens when the
+    /// house is full, so `entrants < k` soundly implies a free slot
+    /// (the invariant [`Resilient::try_enter`] relies on). A crashed
+    /// process never returns its ticket, exactly as it never returns
+    /// its slot.
+    entrants: CachePadded<AtomicUsize>,
     obj: O,
 }
 
@@ -43,6 +55,63 @@ impl<O: std::fmt::Debug> std::fmt::Debug for Resilient<O> {
         f.debug_struct("Resilient")
             .field("assign", &self.assign)
             .field("obj", &self.obj)
+            .finish()
+    }
+}
+
+/// One admission ticket; returns it on drop. Held inside
+/// [`ResilientGuard`] *after* the name guard so the slot is released
+/// before the gate opens (a `try_enter` winner then finds a free slot
+/// immediately).
+struct Ticket<'a>(&'a AtomicUsize);
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, ord::ACQ_REL);
+    }
+}
+
+/// Holds one of the `k` slots, the unique name that came with it, and a
+/// shared reference to the wrapped object. Obtained from
+/// [`Resilient::enter`] / [`Resilient::try_enter`]; dropping it leaves
+/// the wrapper (name first, then slot, then the admission ticket).
+///
+/// Leaking the guard (`std::mem::forget`) models a crash inside the
+/// object: the slot, name, and ticket are consumed permanently, which is
+/// precisely the paper's failure model — the `kex-store` crash-injection
+/// paths do exactly this.
+#[must_use = "dropping the guard immediately releases the name and slot"]
+pub struct ResilientGuard<'a, O> {
+    obj: &'a O,
+    inner: NameGuard<'a>,
+    _ticket: Ticket<'a>,
+}
+
+impl<'a, O> ResilientGuard<'a, O> {
+    /// The wrapped object. The reference outlives the guard's borrow
+    /// scope but operations on it are only covered by the k-assignment
+    /// while the guard is live.
+    pub fn object(&self) -> &'a O {
+        self.obj
+    }
+
+    /// The unique name in `0..k` held by this guard — the process
+    /// identity to use inside the wait-free object.
+    pub fn name(&self) -> usize {
+        self.inner.name()
+    }
+
+    /// The process id that entered.
+    pub fn pid(&self) -> usize {
+        self.inner.pid()
+    }
+}
+
+impl<O> std::fmt::Debug for ResilientGuard<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientGuard")
+            .field("pid", &self.pid())
+            .field("name", &self.name())
             .finish()
     }
 }
@@ -56,6 +125,7 @@ impl<O: Sync> Resilient<O> {
     pub fn new(n: usize, k: usize, obj: O) -> Self {
         Resilient {
             assign: KAssignment::new(n, k),
+            entrants: CachePadded::new(AtomicUsize::new(0)),
             obj,
         }
     }
@@ -64,6 +134,7 @@ impl<O: Sync> Resilient<O> {
     pub fn over(kex: Box<dyn RawKex>, obj: O) -> Self {
         Resilient {
             assign: KAssignment::over(kex),
+            entrants: CachePadded::new(AtomicUsize::new(0)),
             obj,
         }
     }
@@ -78,6 +149,63 @@ impl<O: Sync> Resilient<O> {
         self.assign.k()
     }
 
+    /// Processes currently admitted or waiting to be admitted — an
+    /// approximate occupancy gauge (crashed holders count forever).
+    /// Monitoring only; the value may be stale by the time it returns.
+    pub fn occupancy(&self) -> usize {
+        self.entrants.load(ord::RELAXED)
+    }
+
+    /// Enter the wrapper: process `p` waits for one of the `k` slots,
+    /// receives a unique name, and gets guarded access to the object.
+    ///
+    /// Blocks (locally spinning) while all `k` slots are held. If at
+    /// most `k-1` participating processes have crash-failed, every call
+    /// completes.
+    pub fn enter(&self, p: usize) -> ResilientGuard<'_, O> {
+        self.entrants.fetch_add(1, ord::ACQ_REL);
+        let ticket = Ticket(&self.entrants);
+        ResilientGuard {
+            obj: &self.obj,
+            inner: self.assign.enter(p),
+            _ticket: ticket,
+        }
+    }
+
+    /// Non-blocking [`Resilient::enter`]: `None` when all `k` slots are
+    /// (or may be) held, so callers can shed load instead of spinning.
+    ///
+    /// The admission test is conservative: it refuses whenever `k`
+    /// tickets are outstanding, which includes processes still in the
+    /// k-exclusion entry section and processes that crashed while
+    /// holding a slot. On success the subsequent slot acquisition is
+    /// bounded — fewer than `k` tickets were out, so a slot is free and
+    /// total protocol contention is at most `k`.
+    pub fn try_enter(&self, p: usize) -> Option<ResilientGuard<'_, O>> {
+        let k = self.assign.k();
+        // Footnote-2 shape (cf. `fast_path::try_grab`): one atomic
+        // conditional increment decides admission; no waiting on failure.
+        if self
+            .entrants
+            .fetch_update(ord::ACQ_REL, ord::ACQUIRE, |v| {
+                if v < k {
+                    Some(v + 1)
+                } else {
+                    None
+                }
+            })
+            .is_err()
+        {
+            return None;
+        }
+        let ticket = Ticket(&self.entrants);
+        Some(ResilientGuard {
+            obj: &self.obj,
+            inner: self.assign.enter(p),
+            _ticket: ticket,
+        })
+    }
+
     /// Perform an operation: process `p` enters the wrapper, runs `f`
     /// with the object and its assigned name, and leaves.
     ///
@@ -85,13 +213,35 @@ impl<O: Sync> Resilient<O> {
     /// call completes; if contention never exceeds `k`, the wrapper adds
     /// only `O(k)` remote references and `f` runs wait-free.
     pub fn with<R>(&self, p: usize, f: impl FnOnce(&O, usize) -> R) -> R {
-        let guard = self.assign.enter(p);
-        f(&self.obj, guard.name())
+        let guard = self.enter(p);
+        f(guard.object(), guard.name())
+    }
+
+    /// Non-blocking [`Resilient::with`]: runs `f` only if a slot is
+    /// immediately available, returning `None` (without spinning) when
+    /// all `k` slots are held — including slots consumed by crashed
+    /// processes. See [`Resilient::try_enter`] for the exact admission
+    /// rule.
+    pub fn try_with<R>(&self, p: usize, f: impl FnOnce(&O, usize) -> R) -> Option<R> {
+        let guard = self.try_enter(p)?;
+        Some(f(guard.object(), guard.name()))
     }
 
     /// Read-only access to the wrapped object **without** entering the
-    /// wrapper. Only sound for operations that are safe under arbitrary
-    /// concurrency (e.g. approximate reads of scalable counters).
+    /// wrapper.
+    ///
+    /// # Caveat: no exclusion, no name
+    ///
+    /// The returned reference aliases the object concurrently with up to
+    /// `k` guarded operations (plus any other unguarded readers): none
+    /// of the wrapper's guarantees apply. In particular the caller has
+    /// **no name** — it must not invoke any operation that takes a
+    /// process identity, because every name in `0..k` may simultaneously
+    /// be in use by an admitted process, and the k-process object's
+    /// correctness argument assumes one operation per name at a time.
+    /// Only sound for operations that are safe under arbitrary
+    /// concurrency — e.g. approximate reads of scalable counters, or
+    /// atomic-register snapshots like `kex-store`'s shard scans.
     pub fn object_unguarded(&self) -> &O {
         &self.obj
     }
@@ -188,5 +338,65 @@ mod tests {
     fn into_inner_returns_the_object() {
         let r = Resilient::new(2, 1, 42u64);
         assert_eq!(r.into_inner(), 42);
+    }
+
+    #[test]
+    fn guard_exposes_object_name_and_pid() {
+        let r = Resilient::new(4, 2, PerNameCells::new(2));
+        let g = r.enter(3);
+        assert_eq!(g.pid(), 3);
+        assert!(g.name() < 2);
+        g.object().exercise(g.name());
+        assert_eq!(r.occupancy(), 1);
+        drop(g);
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn try_with_sheds_when_all_slots_are_held() {
+        let r = Resilient::new(8, 2, PerNameCells::new(2));
+        // Two live holders (distinct pids from one thread: nothing
+        // blocks while slots remain).
+        let g0 = r.enter(0);
+        let g1 = r.enter(1);
+        assert_eq!(r.occupancy(), 2);
+        // House full: shed without spinning.
+        assert_eq!(r.try_with(2, |_, _| ()), None);
+        assert!(r.try_enter(3).is_none());
+        drop(g0);
+        // A slot is free again: admitted, and the freed name is reused.
+        let got = r.try_with(2, |obj, name| {
+            obj.exercise(name);
+            name
+        });
+        assert!(got.is_some());
+        drop(g1);
+    }
+
+    #[test]
+    fn try_with_sheds_permanently_after_k_crashes() {
+        // Both holders crash in the critical section (leaked guards):
+        // their slots, names, and tickets are consumed forever, so the
+        // non-blocking path sheds every subsequent operation instead of
+        // hanging the caller.
+        let r = Resilient::new(8, 2, PerNameCells::new(2));
+        std::mem::forget(r.enter(0));
+        std::mem::forget(r.enter(1));
+        assert_eq!(r.occupancy(), 2);
+        for p in 2..6 {
+            assert_eq!(r.try_with(p, |_, _| ()), None);
+        }
+    }
+
+    #[test]
+    fn try_with_runs_under_partial_crashes() {
+        // k = 3, two crashed holders: one slot remains, and try_with
+        // keeps succeeding through it once no live holder is inside.
+        let r = Resilient::new(8, 3, PerNameCells::new(3));
+        std::mem::forget(r.enter(0));
+        std::mem::forget(r.enter(1));
+        for p in 2..6 {
+            assert!(r.try_with(p, |_, name| name).is_some());
+        }
     }
 }

@@ -44,6 +44,8 @@ mod noop {
         Cs,
         /// Instrumented work outside any annotated section.
         Other,
+        /// A whole service-layer store operation (see `kex-store`).
+        Store,
     }
 
     /// Inert span guard: a zero-sized type with no `Drop` impl, so the

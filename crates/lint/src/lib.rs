@@ -78,6 +78,7 @@ const BENCH_SCHEMA: &str = "kex-bench/native_obs/v1";
 const SCAN_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/waitfree/src",
+    "crates/store/src",
     "crates/util/src",
     "crates/util/tests",
     "crates/sim/src",
@@ -102,6 +103,14 @@ const WAITFREE_PREFIX: &str = "crates/waitfree/src/";
 /// The waitfree counterpart of `native::ordering`: defines that
 /// crate's named ordering constant, so it may spell `Ordering::*`.
 const WAITFREE_ORDERING_MODULE: &str = "crates/waitfree/src/ordering.rs";
+
+/// The store service layer, covered by the same literal-`Ordering::*`
+/// ban (uniformly SeqCst by design, like the wait-free layer).
+const STORE_PREFIX: &str = "crates/store/src/";
+
+/// The store counterpart of `native::ordering`: defines that crate's
+/// named ordering constant, so it may spell `Ordering::*`.
+const STORE_ORDERING_MODULE: &str = "crates/store/src/ordering.rs";
 
 /// Native files exempt from the site passes: test scaffolding compiled
 /// only under `cfg(test)` (via the `mod` declaration, not an in-file
@@ -824,10 +833,12 @@ fn is_native_site_file(path: &str) -> bool {
 }
 
 /// Files subject to the literal-`Ordering::*` ban: the native site
-/// files plus the wait-free layer (minus its own constant module).
+/// files plus the wait-free and store layers (minus their own constant
+/// modules).
 fn is_ordering_policy_file(path: &str) -> bool {
     is_native_site_file(path)
         || (path.starts_with(WAITFREE_PREFIX) && path != WAITFREE_ORDERING_MODULE)
+        || (path.starts_with(STORE_PREFIX) && path != STORE_ORDERING_MODULE)
 }
 
 /// Extracts every non-test atomic call site under
@@ -1405,13 +1416,15 @@ pub fn ordering_pass(
 
     // 1a. No literal Ordering:: outside the ordering-constant modules
     // (test code exempt). Covers the native hot paths and the
-    // wait-free layer.
+    // wait-free and store layers.
     for file in &ws.files {
         if !is_ordering_policy_file(&file.path) {
             continue;
         }
         let hint = if file.path.starts_with(WAITFREE_PREFIX) {
             "literal `Ordering::*` in the audited wait-free layer — name the constant from `waitfree::ordering` instead"
+        } else if file.path.starts_with(STORE_PREFIX) {
+            "literal `Ordering::*` in the audited store layer — name the constant from `kex_store`'s `ordering` module instead"
         } else {
             "literal `Ordering::*` in the audited native layer — name an `ord::*` constant from `native::ordering` instead"
         };

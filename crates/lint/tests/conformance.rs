@@ -297,6 +297,51 @@ fn literal_ordering_in_waitfree_code_is_caught() {
     );
 }
 
+#[test]
+fn literal_ordering_in_store_code_is_caught() {
+    let (ws, inputs) = setup();
+    let object = "crates/store/src/object.rs";
+    let mutated = ws.replace_in_file(
+        object,
+        "self.len.fetch_add(1, SEQ_CST)",
+        "self.len.fetch_add(1, Ordering::SeqCst)",
+    );
+    let line = line_of(&mutated, object, "Ordering::SeqCst)");
+    let findings = ordering_pass(
+        &mutated,
+        inputs.manifest.as_deref(),
+        inputs.doc.as_deref(),
+        Build::Default,
+    );
+    assert_finding(
+        &findings,
+        Pass::Ordering,
+        object,
+        line,
+        "audited store layer",
+    );
+}
+
+#[test]
+fn facade_bypass_in_store_code_is_caught() {
+    let (ws, _) = setup();
+    let shard = "crates/store/src/shard.rs";
+    let mutated = ws.append_to_file(shard, "\nuse std::sync::atomic::AtomicU64 as Direct;\n");
+    let line = line_of(
+        &mutated,
+        shard,
+        "use std::sync::atomic::AtomicU64 as Direct;",
+    );
+    let findings = facade_pass(&mutated);
+    assert_finding(
+        &findings,
+        Pass::Facade,
+        shard,
+        line,
+        "bypasses the `kex_util::sync` facade",
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Ordering-obligation mutations
 // ---------------------------------------------------------------------------

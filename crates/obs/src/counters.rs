@@ -38,15 +38,24 @@ pub enum Section {
     Cs = 2,
     /// Instrumented work outside any annotated section.
     Other = 3,
+    /// A whole service-layer store operation (route + admission +
+    /// object op + journal); the protocol sections it contains nest
+    /// transparently inside it. Opened by `kex-store`.
+    Store = 4,
 }
 
 /// Number of [`Section`] variants.
-pub(crate) const N_SECTIONS: usize = 4;
+pub(crate) const N_SECTIONS: usize = 5;
 
 impl Section {
     /// All sections, in discriminant order.
-    pub const ALL: [Section; N_SECTIONS] =
-        [Section::Entry, Section::Exit, Section::Cs, Section::Other];
+    pub const ALL: [Section; N_SECTIONS] = [
+        Section::Entry,
+        Section::Exit,
+        Section::Cs,
+        Section::Other,
+        Section::Store,
+    ];
 
     /// Human-readable lower-case label.
     pub fn label(self) -> &'static str {
@@ -55,6 +64,7 @@ impl Section {
             Section::Exit => "exit",
             Section::Cs => "cs",
             Section::Other => "other",
+            Section::Store => "store",
         }
     }
 

@@ -1,0 +1,18 @@
+//! Named ordering constant for the store layer.
+//!
+//! Mirrors `kex_core::native::ordering` and `kex-waitfree`'s module of
+//! the same name: every non-test atomic access in this crate names its
+//! ordering through a constant defined here instead of spelling a
+//! literal `Ordering::*`, so the kex-lint ordering-policy pass can
+//! audit the crate the same way it audits the native hot paths. The
+//! store's shared cells — packed key/value slots raced by up to `k`
+//! admitted writers, journal lane heads read cross-process for crash
+//! attribution — follow the wait-free layer's policy: uniformly SeqCst,
+//! with no per-site relaxation argument attempted. The store is a
+//! *service* layer; its cost is dominated by the k-assignment wrappers
+//! underneath, whose orderings are the audited ones.
+
+use kex_util::sync::atomic::Ordering;
+
+/// The single ordering the store layer uses.
+pub(crate) const SEQ_CST: Ordering = Ordering::SeqCst;
